@@ -1,0 +1,100 @@
+// Command predtop-eval regenerates the prediction-accuracy results of the
+// paper: the MRE grids of Tables V and VI and their aggregations in Figs 3,
+// 8, and 9.
+//
+// Usage:
+//
+//	predtop-eval [-preset quick|paper] [-bench GPT-3|MoE|all]
+//	             [-platform 1|2|0] [-fig3frac 50] [-out results.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"predtop/internal/cluster"
+	"predtop/internal/experiments"
+)
+
+func main() {
+	presetName := flag.String("preset", "quick", "experiment scale: quick or paper")
+	bench := flag.String("bench", "all", "benchmark: GPT-3, MoE, or all")
+	platformSel := flag.Int("platform", 0, "platform index: 1, 2, or 0 for both")
+	fig3frac := flag.Int("fig3frac", 50, "training fraction (%) for the Fig 3 comparison")
+	ablate := flag.Bool("ablate", false, "also run the DAG-Transformer design ablation")
+	tables := flag.Bool("tables", true, "run the MRE tables (disable for -ablate only)")
+	out := flag.String("out", "", "also write the report to this file")
+	flag.Parse()
+
+	var p experiments.Preset
+	switch *presetName {
+	case "quick":
+		p = experiments.Quick()
+	case "paper":
+		p = experiments.Paper()
+	case "paperlite":
+		p = experiments.PaperLite()
+	default:
+		log.Fatalf("unknown preset %q", *presetName)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	var platforms []cluster.Platform
+	if *platformSel == 0 || *platformSel == 1 {
+		platforms = append(platforms, cluster.Platform1())
+	}
+	if *platformSel == 0 || *platformSel == 2 {
+		platforms = append(platforms, cluster.Platform2())
+	}
+
+	var mreTables []*experiments.MRETable
+	for _, b := range p.Benchmarks() {
+		if !*tables {
+			break
+		}
+		if *bench != "all" && !strings.EqualFold(*bench, b.Name) {
+			continue
+		}
+		for _, plat := range platforms {
+			tableName := "Table V"
+			if plat.Index == 2 {
+				tableName = "Table VI"
+			}
+			fmt.Fprintf(w, "=== %s — %s on %s (preset %s) ===\n", tableName, b.Name, plat.Name, p.Name)
+			t := experiments.RunMRETable(p, b, plat, os.Stderr)
+			fmt.Fprint(w, t.Render())
+			fmt.Fprintf(w, "DAG Transformer wins %.1f%% of cells\n\n", t.WinRate(2)*100)
+			mreTables = append(mreTables, t)
+		}
+	}
+
+	if len(mreTables) > 0 {
+		aggs := experiments.Aggregates(mreTables)
+		fmt.Fprintln(w, experiments.RenderAggregates(aggs, false))
+		fmt.Fprintln(w, experiments.RenderAggregates(aggs, true))
+		fmt.Fprintln(w, experiments.RenderFig3(mreTables, *fig3frac))
+	}
+
+	if *ablate {
+		for _, b := range p.Benchmarks() {
+			if *bench != "all" && !strings.EqualFold(*bench, b.Name) {
+				continue
+			}
+			rows := experiments.RunAblation(p, b, cluster.Platform1(), 0.5, os.Stderr)
+			fmt.Fprintln(w, experiments.RenderAblation(b.Name, rows))
+		}
+	}
+}

@@ -1,0 +1,56 @@
+// Command predtop-figures regenerates the paper's motivating figures:
+// Fig 2 (latency variation across random parallelization plans) and Fig 6
+// (the 1F1B pipeline timeline behind the Eqn-4 white-box model).
+//
+// Usage:
+//
+//	predtop-figures [-preset quick|paper] [-fig 2|6|0] [-out results.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"predtop/internal/experiments"
+)
+
+func main() {
+	presetName := flag.String("preset", "quick", "experiment scale: quick or paper")
+	fig := flag.Int("fig", 0, "figure to regenerate: 2, 6, or 0 for all")
+	out := flag.String("out", "", "also write the report to this file")
+	flag.Parse()
+
+	var p experiments.Preset
+	switch *presetName {
+	case "quick":
+		p = experiments.Quick()
+	case "paper":
+		p = experiments.Paper()
+	case "paperlite":
+		p = experiments.PaperLite()
+	default:
+		log.Fatalf("unknown preset %q", *presetName)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *fig == 0 || *fig == 2 {
+		for _, r := range experiments.RunFig2(p, os.Stderr) {
+			fmt.Fprintln(w, r.Render())
+		}
+	}
+	if *fig == 0 || *fig == 6 {
+		fmt.Fprintln(w, experiments.RenderFig6())
+	}
+}

@@ -1,0 +1,58 @@
+// Command predtop-plan regenerates the paper's Fig-10 use case: automatic
+// parallelization-plan search on Platform 2 under five latency sources —
+// vanilla Alpa with full and partial profiling, and PredTOP with GCN, GAT,
+// and DAG Transformer predictors — reporting optimization cost (Fig 10a)
+// and the ground-truth iteration latency of each optimized plan (Fig 10b).
+//
+// Usage:
+//
+//	predtop-plan [-preset quick|paper] [-bench GPT-3|MoE|all] [-out results.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"predtop/internal/experiments"
+)
+
+func main() {
+	presetName := flag.String("preset", "quick", "experiment scale: quick or paper")
+	bench := flag.String("bench", "all", "benchmark: GPT-3, MoE, or all")
+	out := flag.String("out", "", "also write the report to this file")
+	flag.Parse()
+
+	var p experiments.Preset
+	switch *presetName {
+	case "quick":
+		p = experiments.Quick()
+	case "paper":
+		p = experiments.Paper()
+	case "paperlite":
+		p = experiments.PaperLite()
+	default:
+		log.Fatalf("unknown preset %q", *presetName)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	for _, b := range p.Benchmarks() {
+		if *bench != "all" && !strings.EqualFold(*bench, b.Name) {
+			continue
+		}
+		runs := experiments.RunFig10(p, b, os.Stderr)
+		fmt.Fprintln(w, experiments.RenderFig10(b.Name, runs))
+	}
+}

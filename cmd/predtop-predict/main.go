@@ -1,0 +1,74 @@
+// Command predtop-predict loads a model saved by predtop-train and predicts
+// the optimal intra-stage latency of a stage, optionally checking it against
+// the simulator's profiled ground truth.
+//
+// Usage:
+//
+//	predtop-predict -model model.predtop -bench GPT-3 -layers 12 \
+//	                -lo 2 -hi 5 [-platform 2 -mesh 1 -conf 1 -check]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"predtop"
+)
+
+func main() {
+	modelPath := flag.String("model", "model.predtop", "trained model path")
+	bench := flag.String("bench", "GPT-3", "benchmark: GPT-3 or MoE")
+	layers := flag.Int("layers", 0, "override benchmark depth (0 = Table IV)")
+	lo := flag.Int("lo", 0, "stage start segment (inclusive)")
+	hi := flag.Int("hi", 1, "stage end segment (exclusive)")
+	platformSel := flag.Int("platform", 2, "platform for -check")
+	meshIdx := flag.Int("mesh", 1, "mesh for -check")
+	confIdx := flag.Int("conf", 1, "configuration for -check")
+	check := flag.Bool("check", false, "compare against the simulator's profiled latency")
+	flag.Parse()
+
+	trained, err := predtop.LoadTrained(*modelPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := predtop.GPT3Config()
+	if strings.EqualFold(*bench, "MoE") {
+		cfg = predtop.MoEConfig()
+	}
+	if *layers > 0 {
+		cfg.Layers = *layers
+	}
+	model := predtop.BuildModel(cfg)
+	if *lo < 0 || *hi > model.NumSegments() || *lo >= *hi {
+		log.Fatalf("bad stage range [%d,%d) of %d segments", *lo, *hi, model.NumSegments())
+	}
+
+	enc := predtop.NewEncoder(model, true)
+	sp := predtop.StageSpec{Lo: *lo, Hi: *hi}
+	pred := trained.PredictEncoded(enc.Encode(sp))
+	fmt.Printf("%s stage [%d,%d) (%s): predicted %.3fms\n",
+		cfg.Name, sp.Lo, sp.Hi, trained.Model.Name(), pred*1e3)
+
+	if *check {
+		platform := predtop.Platform2()
+		if *platformSel == 1 {
+			platform = predtop.Platform1()
+		}
+		for _, sc := range predtop.Scenarios(platform) {
+			if sc.Mesh.Index != *meshIdx || sc.Config.Index != *confIdx {
+				continue
+			}
+			trueLat, _, ok := predtop.ProfileStage(model, sp, sc, predtop.DefaultProfiler())
+			if !ok {
+				log.Fatalf("stage infeasible under %v", sc)
+			}
+			fmt.Printf("profiled under %v: %.3fms (relative error %.2f%%)\n",
+				sc, trueLat*1e3, math.Abs(pred-trueLat)/trueLat*100)
+			return
+		}
+		log.Fatalf("no scenario mesh=%d conf=%d", *meshIdx, *confIdx)
+	}
+}

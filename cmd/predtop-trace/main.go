@@ -1,0 +1,62 @@
+// Command predtop-trace plans a benchmark on Platform 2 and writes the
+// optimized pipeline's 1F1B schedule as a Chrome-tracing JSON file (open in
+// chrome://tracing or Perfetto) — a navigable version of the paper's Fig 6.
+//
+// Usage:
+//
+//	predtop-trace -bench GPT-3 -layers 12 -microbatches 8 -o pipeline.trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"predtop"
+	"predtop/internal/pipeline"
+)
+
+func main() {
+	bench := flag.String("bench", "GPT-3", "benchmark: GPT-3 or MoE")
+	layers := flag.Int("layers", 12, "benchmark depth (0 = Table IV)")
+	microbatches := flag.Int("microbatches", 8, "microbatches per iteration")
+	maxStageLen := flag.Int("maxlen", 7, "max stage length in segments")
+	out := flag.String("o", "pipeline.trace.json", "output trace path")
+	flag.Parse()
+
+	cfg := predtop.GPT3Config()
+	if strings.EqualFold(*bench, "MoE") {
+		cfg = predtop.MoEConfig()
+	}
+	if *layers > 0 {
+		cfg.Layers = *layers
+	}
+	model := predtop.BuildModel(cfg)
+
+	meter := &predtop.CostMeter{}
+	plan, ok := predtop.OptimizePlan(model.NumSegments(), predtop.Platform2(),
+		predtop.FullProfiling(model, predtop.DefaultProfiler(), meter),
+		predtop.PlanOptions{Microbatches: *microbatches, MaxStageLen: *maxStageLen})
+	if !ok {
+		log.Fatal("no feasible plan")
+	}
+	lats := make([]float64, plan.NumStages())
+	for i, sp := range plan.Stages {
+		lats[i], _ = predtop.TrueStageLatency(model, sp, plan.Meshes[i])
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := pipeline.WriteChromeTrace(f, lats, *microbatches); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %d stages, iteration latency %.4fs (bubble %.1f%%)\n",
+		plan.NumStages(), predtop.PipelineLatency(lats, *microbatches),
+		pipeline.BubbleFraction(lats, *microbatches)*100)
+	fmt.Printf("wrote %s\n", *out)
+}

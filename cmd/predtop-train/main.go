@@ -1,0 +1,90 @@
+// Command predtop-train profiles a sample of a benchmark's pipeline stages
+// under one runtime scenario, trains a latency predictor on them, reports
+// its held-out accuracy, and saves the trained model for predtop-predict.
+//
+// Usage:
+//
+//	predtop-train -bench GPT-3 -platform 2 -mesh 1 -conf 1 -arch tran \
+//	              -layers 12 -samples 0 -maxlen 3 -epochs 30 -o model.predtop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"predtop"
+)
+
+func main() {
+	bench := flag.String("bench", "GPT-3", "benchmark: GPT-3 or MoE")
+	platformSel := flag.Int("platform", 2, "platform index: 1 or 2")
+	meshIdx := flag.Int("mesh", 1, "mesh index (Table II)")
+	confIdx := flag.Int("conf", 1, "configuration index (Table III)")
+	arch := flag.String("arch", "tran", "architecture: tran, gcn, or gat")
+	layers := flag.Int("layers", 0, "override benchmark depth (0 = Table IV)")
+	samples := flag.Int("samples", 0, "stages to profile (0 = whole universe)")
+	maxLen := flag.Int("maxlen", 3, "max stage length in segments")
+	epochs := flag.Int("epochs", 30, "training epochs (cosine-decay horizon)")
+	trainFrac := flag.Float64("trainfrac", 0.5, "training fraction")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "model.predtop", "output model path")
+	flag.Parse()
+
+	cfg := predtop.GPT3Config()
+	if strings.EqualFold(*bench, "MoE") {
+		cfg = predtop.MoEConfig()
+	}
+	if *layers > 0 {
+		cfg.Layers = *layers
+	}
+	model := predtop.BuildModel(cfg)
+
+	platform := predtop.Platform2()
+	if *platformSel == 1 {
+		platform = predtop.Platform1()
+	}
+	var scenario predtop.Scenario
+	found := false
+	for _, sc := range predtop.Scenarios(platform) {
+		if sc.Mesh.Index == *meshIdx && sc.Config.Index == *confIdx {
+			scenario, found = sc, true
+		}
+	}
+	if !found {
+		log.Fatalf("no scenario mesh=%d conf=%d on platform %d", *meshIdx, *confIdx, *platformSel)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	specs := predtop.SampleStages(model, rng, *samples, *maxLen)
+	enc := predtop.NewEncoder(model, true)
+	ds := predtop.BuildDataset(enc, specs, scenario, predtop.DefaultProfiler())
+	fmt.Printf("profiled %d stages of %s under %v\n", len(ds.Samples), cfg.Name, scenario)
+
+	var net predtop.PredictorModel
+	switch strings.ToLower(*arch) {
+	case "gcn":
+		net = predtop.NewGCN(rng, predtop.GCNConfig{Layers: 6, Dim: 64})
+	case "gat":
+		net = predtop.NewGAT(rng, predtop.GATConfig{Layers: 6, Dim: 24, Heads: 3})
+	case "tran":
+		net = predtop.NewDAGTransformer(rng, predtop.TransformerConfig{Layers: 2, Dim: 32, Heads: 2, FFNDim: 64})
+	default:
+		log.Fatalf("unknown architecture %q", *arch)
+	}
+
+	train, val, test := predtop.Split(rng, len(ds.Samples), *trainFrac, 0.1)
+	trained, res := predtop.Train(net, ds, train, val, predtop.TrainConfig{
+		Epochs: *epochs, Patience: *epochs / 3, BatchSize: 4, Seed: *seed,
+	})
+	fmt.Printf("trained %s for %d epochs (best val %.4f) in %.1fs\n",
+		net.Name(), res.EpochsRun, res.BestValLoss, res.WallSeconds)
+	fmt.Printf("test MRE: %.2f%% over %d held-out stages\n", trained.MRE(ds, test), len(test))
+
+	if err := predtop.SaveTrained(*out, trained); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("saved model to %s\n", *out)
+}

@@ -1,0 +1,73 @@
+// gpt3pipeline: end-to-end automatic parallelization of GPT-3 on the
+// 2-node × 2-GPU Platform 2 — the paper's Fig-10 use case in miniature.
+// It searches for the optimal (stage partition, submesh assignment) plan
+// twice: once with exhaustive profiling (vanilla Alpa) and once with a
+// trained DAG Transformer predictor (PredTOP), then compares optimization
+// cost and resulting plan quality.
+//
+// Run with:
+//
+//	go run ./examples/gpt3pipeline
+package main
+
+import (
+	"fmt"
+
+	"predtop"
+)
+
+func main() {
+	cfg := predtop.GPT3Config()
+	cfg.Layers = 12 // keep the example fast; the paper's run uses 24
+	model := predtop.BuildModel(cfg)
+	platform := predtop.Platform2()
+	prof := predtop.DefaultProfiler()
+	opts := predtop.PlanOptions{Microbatches: 16, MaxStageLen: 7}
+
+	// --- Vanilla Alpa: profile every (stage, mesh) pair. ---
+	fullMeter := &predtop.CostMeter{}
+	fullPlan, ok := predtop.OptimizePlan(model.NumSegments(), platform,
+		predtop.FullProfiling(model, prof, fullMeter), opts)
+	if !ok {
+		panic("no plan found with full profiling")
+	}
+	fullLat, _ := predtop.EvaluatePlan(model, fullPlan, opts.Microbatches)
+	fmt.Printf("Alpa full profiling: %d profiles, %.0f simulated seconds of optimization\n",
+		fullMeter.StagesProfiled, fullMeter.Total())
+	describe("full-profiling plan", model, fullPlan, fullLat)
+
+	// --- PredTOP: profile a sample, train, predict the rest. ---
+	predMeter := &predtop.CostMeter{}
+	latFn := predtop.TrainPredictorProvider(model, platform, predtop.PredictorOptions{
+		Kind:        predtop.KindTransformer,
+		SampleFrac:  0.2,
+		MaxStageLen: opts.MaxStageLen,
+		Train:       predtop.TrainConfig{Epochs: 15, Patience: 8, BatchSize: 4},
+		Tran:        predtop.TransformerConfig{Layers: 2, Dim: 32, Heads: 2, FFNDim: 64},
+		Seed:        7,
+	}, prof, predMeter)
+	predPlan, ok := predtop.OptimizePlan(model.NumSegments(), platform, latFn, opts)
+	if !ok {
+		panic("no plan found with predictions")
+	}
+	predLat, _ := predtop.EvaluatePlan(model, predPlan, opts.Microbatches)
+	fmt.Printf("\nPredTOP: %d profiles, %.0f simulated seconds "+
+		"(profile %.0f + train %.0f + infer %.0f)\n",
+		predMeter.StagesProfiled, predMeter.Total(),
+		predMeter.ProfileSeconds, predMeter.TrainSeconds, predMeter.InferSeconds)
+	describe("PredTOP plan", model, predPlan, predLat)
+
+	fmt.Printf("\noptimization cost: %.1f%% of full profiling; "+
+		"plan latency: %+.1f%% vs full profiling\n",
+		predMeter.Total()/fullMeter.Total()*100,
+		(predLat-fullLat)/fullLat*100)
+}
+
+func describe(name string, model *predtop.Model, plan predtop.Plan, iterLat float64) {
+	fmt.Printf("%s (%d stages, iteration latency %.3fs):\n", name, plan.NumStages(), iterLat)
+	for i, sp := range plan.Stages {
+		lat, _ := predtop.TrueStageLatency(model, sp, plan.Meshes[i])
+		fmt.Printf("  stage %d: segments [%2d,%2d) on %v — %.3fms\n",
+			i+1, sp.Lo, sp.Hi, plan.Meshes[i], lat*1e3)
+	}
+}

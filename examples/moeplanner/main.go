@@ -1,0 +1,56 @@
+// moeplanner: white-box pipeline analysis of a Mixture-of-Experts model.
+// It plans MoE training across Platform 2, breaks the chosen plan down with
+// the Eqn-4 white-box model, renders the 1F1B schedule timeline (Fig 6
+// style), and shows how the microbatch count moves the bottleneck's weight.
+//
+// Run with:
+//
+//	go run ./examples/moeplanner
+package main
+
+import (
+	"fmt"
+
+	"predtop"
+	"predtop/internal/pipeline"
+)
+
+func main() {
+	cfg := predtop.MoEConfig()
+	cfg.Layers = 12 // keep the example fast; the paper's run uses 32
+	model := predtop.BuildModel(cfg)
+	platform := predtop.Platform2()
+	fmt.Printf("model: %s, %d segments, %.2fB parameters (%d experts/MoE layer)\n",
+		cfg.Name, model.NumSegments(), float64(model.TotalParams())/1e9, cfg.Experts)
+
+	// Plan with the simulator's exact stage latencies (oracle source): this
+	// example is about the white-box side, not prediction error.
+	meter := &predtop.CostMeter{}
+	latFn := predtop.FullProfiling(model, predtop.DefaultProfiler(), meter)
+	opts := predtop.PlanOptions{Microbatches: 16, MaxStageLen: 7}
+	plan, ok := predtop.OptimizePlan(model.NumSegments(), platform, latFn, opts)
+	if !ok {
+		panic("no feasible plan")
+	}
+
+	// White-box breakdown: per-stage latency, bottleneck, Eqn 4.
+	lats := make([]float64, plan.NumStages())
+	fmt.Printf("\noptimized pipeline (%d stages):\n", plan.NumStages())
+	for i, sp := range plan.Stages {
+		lats[i], _ = predtop.TrueStageLatency(model, sp, plan.Meshes[i])
+		fmt.Printf("  stage %d: segments [%2d,%2d) on %v — %.3fms\n",
+			i+1, sp.Lo, sp.Hi, plan.Meshes[i], lats[i]*1e3)
+	}
+	bi, bmax := pipeline.Bottleneck(lats)
+	fmt.Printf("bottleneck: stage %d at %.3fms\n", bi+1, bmax*1e3)
+
+	for _, b := range []int{1, 4, 16, 64} {
+		closed := predtop.PipelineLatency(lats, b)
+		simulated, _ := predtop.SimulatePipeline(lats, b)
+		fmt.Printf("B=%2d microbatches: Eqn 4 = %.4fs, schedule simulator = %.4fs\n",
+			b, closed, simulated)
+	}
+
+	fmt.Println("\nschedule timeline (3 microbatches):")
+	fmt.Print(pipeline.RenderTimeline(lats, 3, 66))
+}

@@ -1,0 +1,59 @@
+// Quickstart: train a DAG Transformer latency predictor on profiled GPT-3
+// pipeline stages and evaluate its accuracy — the core PredTOP loop
+// (profile a sample → train → predict) on a single scenario.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"predtop"
+)
+
+func main() {
+	// A 12-layer slice of GPT-3 keeps this example under a minute on a CPU;
+	// swap in predtop.GPT3Config() for the full 24-layer benchmark.
+	cfg := predtop.GPT3Config()
+	cfg.Layers = 12
+	model := predtop.BuildModel(cfg)
+	fmt.Printf("model: %s with %d segments, %.2fB parameters\n",
+		cfg.Name, model.NumSegments(), float64(model.TotalParams())/1e9)
+
+	// Scenario: one A5500 GPU of Platform 2, no intra-operator parallelism.
+	platform := predtop.Platform2()
+	scenario := predtop.Scenarios(platform)[0]
+	fmt.Printf("scenario: %v\n", scenario)
+
+	// Profile every stage of up to 3 segments (in a real deployment this is
+	// the expensive step PredTOP minimizes — here the simulator profiles).
+	rng := rand.New(rand.NewSource(42))
+	specs := predtop.SampleStages(model, rng, 0, 3)
+	enc := predtop.NewEncoder(model, true)
+	ds := predtop.BuildDataset(enc, specs, scenario, predtop.DefaultProfiler())
+	fmt.Printf("profiled %d stages\n", len(ds.Samples))
+
+	// Train on half the profiles, validate on 10%, test on the rest.
+	train, val, test := predtop.Split(rng, len(ds.Samples), 0.5, 0.1)
+	net := predtop.NewDAGTransformer(rng, predtop.TransformerConfig{
+		Layers: 2, Dim: 32, Heads: 2, FFNDim: 64,
+	})
+	trained, res := predtop.Train(net, ds, train, val, predtop.TrainConfig{
+		Epochs: 30, Patience: 10, BatchSize: 4,
+	})
+	fmt.Printf("trained %d epochs (best val loss %.4f) in %.1fs\n",
+		res.EpochsRun, res.BestValLoss, res.WallSeconds)
+
+	// Evaluate: mean relative error (Eqn 5) on held-out stages.
+	fmt.Printf("test MRE: %.2f%%\n", trained.MRE(ds, test))
+
+	// Predict a stage the planner might ask about.
+	sp := predtop.StageSpec{Lo: 2, Hi: 5}
+	pred := trained.PredictEncoded(enc.Encode(sp))
+	trueLat, _, _ := predtop.ProfileStage(model, sp, scenario, predtop.DefaultProfiler())
+	fmt.Printf("stage [%d,%d): predicted %.3fms, profiled %.3fms\n",
+		sp.Lo, sp.Hi, pred*1e3, trueLat*1e3)
+}

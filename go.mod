@@ -1,0 +1,3 @@
+module predtop
+
+go 1.22

@@ -1,0 +1,508 @@
+// Package ag implements tape-based reverse-mode automatic differentiation
+// over the 2-D tensors in internal/tensor.
+//
+// A Context records every operation of one forward pass. Backward walks the
+// tape in reverse, accumulating gradients into each node and, for parameter
+// leaves, into the owning Param's Grad tensor. Contexts are cheap; one is
+// created per training example (or per mini-batch element) and discarded.
+package ag
+
+import (
+	"fmt"
+	"math"
+
+	"predtop/internal/tensor"
+)
+
+// Param is a trainable tensor shared across forward passes. Grad accumulates
+// gradients until an optimizer consumes and zeroes it.
+type Param struct {
+	Name string
+	V    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// NewParam wraps t as a named trainable parameter with a zero gradient.
+func NewParam(name string, t *tensor.Tensor) *Param {
+	return &Param{Name: name, V: t, Grad: tensor.New(t.R, t.C)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Node is one value on the autodiff tape.
+type Node struct {
+	V        *tensor.Tensor
+	grad     *tensor.Tensor
+	back     func(g *tensor.Tensor)
+	requires bool
+}
+
+// Value returns the node's forward value.
+func (n *Node) Value() *tensor.Tensor { return n.V }
+
+// Grad returns the accumulated gradient (nil before Backward or for
+// non-differentiable nodes).
+func (n *Node) Grad() *tensor.Tensor { return n.grad }
+
+// Context is one autodiff tape.
+type Context struct {
+	nodes  []*Node
+	params map[*Param]*Node
+}
+
+// NewContext returns an empty tape.
+func NewContext() *Context {
+	return &Context{params: make(map[*Param]*Node)}
+}
+
+func (c *Context) add(n *Node) *Node {
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// Const wraps a tensor that requires no gradient.
+func (c *Context) Const(t *tensor.Tensor) *Node {
+	return c.add(&Node{V: t})
+}
+
+// Param returns the (memoized) leaf node for p; gradients reaching it are
+// accumulated into p.Grad during Backward.
+func (c *Context) Param(p *Param) *Node {
+	if n, ok := c.params[p]; ok {
+		return n
+	}
+	n := c.add(&Node{V: p.V, requires: true})
+	n.back = func(g *tensor.Tensor) { tensor.AddInPlace(p.Grad, g) }
+	c.params[p] = n
+	return n
+}
+
+// accum adds g into n's gradient buffer.
+func (n *Node) accum(g *tensor.Tensor) {
+	if n.grad == nil {
+		n.grad = g.Clone()
+		return
+	}
+	tensor.AddInPlace(n.grad, g)
+}
+
+func anyRequires(ns ...*Node) bool {
+	for _, n := range ns {
+		if n.requires {
+			return true
+		}
+	}
+	return false
+}
+
+// Backward seeds the 1×1 loss node with gradient 1 and propagates gradients
+// through the tape in reverse recording order.
+func (c *Context) Backward(loss *Node) {
+	if loss.V.R != 1 || loss.V.C != 1 {
+		panic(fmt.Sprintf("ag: Backward needs a scalar loss, got %dx%d", loss.V.R, loss.V.C))
+	}
+	loss.grad = tensor.Full(1, 1, 1)
+	for i := len(c.nodes) - 1; i >= 0; i-- {
+		n := c.nodes[i]
+		if n.grad == nil || n.back == nil {
+			continue
+		}
+		n.back(n.grad)
+	}
+}
+
+// MatMul returns a·b.
+func (c *Context) MatMul(a, b *Node) *Node {
+	out := &Node{V: tensor.MatMul(a.V, b.V), requires: anyRequires(a, b)}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			if a.requires {
+				a.accum(tensor.MatMulBT(g, b.V)) // dA = g·Bᵀ
+			}
+			if b.requires {
+				b.accum(tensor.MatMulAT(a.V, g)) // dB = Aᵀ·g
+			}
+		}
+	}
+	return c.add(out)
+}
+
+// MatMulBT returns a·bᵀ without materializing the transpose.
+func (c *Context) MatMulBT(a, b *Node) *Node {
+	out := &Node{V: tensor.MatMulBT(a.V, b.V), requires: anyRequires(a, b)}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			if a.requires {
+				a.accum(tensor.MatMul(g, b.V)) // dA = g·B
+			}
+			if b.requires {
+				b.accum(tensor.MatMulAT(g, a.V)) // dB = gᵀ·A
+			}
+		}
+	}
+	return c.add(out)
+}
+
+// Add returns a + b (same shape).
+func (c *Context) Add(a, b *Node) *Node {
+	out := &Node{V: tensor.Add(a.V, b.V), requires: anyRequires(a, b)}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			if a.requires {
+				a.accum(g)
+			}
+			if b.requires {
+				b.accum(g)
+			}
+		}
+	}
+	return c.add(out)
+}
+
+// Sub returns a − b (same shape).
+func (c *Context) Sub(a, b *Node) *Node {
+	out := &Node{V: tensor.Sub(a.V, b.V), requires: anyRequires(a, b)}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			if a.requires {
+				a.accum(g)
+			}
+			if b.requires {
+				b.accum(tensor.Scale(g, -1))
+			}
+		}
+	}
+	return c.add(out)
+}
+
+// Mul returns a ⊙ b (same shape).
+func (c *Context) Mul(a, b *Node) *Node {
+	out := &Node{V: tensor.Mul(a.V, b.V), requires: anyRequires(a, b)}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			if a.requires {
+				a.accum(tensor.Mul(g, b.V))
+			}
+			if b.requires {
+				b.accum(tensor.Mul(g, a.V))
+			}
+		}
+	}
+	return c.add(out)
+}
+
+// AddBias adds the 1×C bias row vector b to every row of x.
+func (c *Context) AddBias(x, b *Node) *Node {
+	out := &Node{V: tensor.AddRowVec(x.V, b.V), requires: anyRequires(x, b)}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			if x.requires {
+				x.accum(g)
+			}
+			if b.requires {
+				b.accum(tensor.SumRows(g))
+			}
+		}
+	}
+	return c.add(out)
+}
+
+// AddOuter returns out[i][j] = a[i] + b[j] for column vectors a, b.
+func (c *Context) AddOuter(a, b *Node) *Node {
+	out := &Node{V: tensor.AddOuter(a.V, b.V), requires: anyRequires(a, b)}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			if a.requires {
+				a.accum(tensor.SumCols(g))
+			}
+			if b.requires {
+				a2 := tensor.SumRows(g) // 1×M
+				b.accum(a2.Transpose())
+			}
+		}
+	}
+	return c.add(out)
+}
+
+// Scale returns s·x.
+func (c *Context) Scale(x *Node, s float64) *Node {
+	out := &Node{V: tensor.Scale(x.V, s), requires: x.requires}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) { x.accum(tensor.Scale(g, s)) }
+	}
+	return c.add(out)
+}
+
+// ReLU returns max(x, 0).
+func (c *Context) ReLU(x *Node) *Node {
+	v := tensor.Map(x.V, func(a float64) float64 { return math.Max(a, 0) })
+	out := &Node{V: v, requires: x.requires}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			dx := tensor.New(g.R, g.C)
+			for i, gv := range g.Data {
+				if x.V.Data[i] > 0 {
+					dx.Data[i] = gv
+				}
+			}
+			x.accum(dx)
+		}
+	}
+	return c.add(out)
+}
+
+// LeakyReLU returns x for x>0 and αx otherwise.
+func (c *Context) LeakyReLU(x *Node, alpha float64) *Node {
+	v := tensor.Map(x.V, func(a float64) float64 {
+		if a > 0 {
+			return a
+		}
+		return alpha * a
+	})
+	out := &Node{V: v, requires: x.requires}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			dx := tensor.New(g.R, g.C)
+			for i, gv := range g.Data {
+				if x.V.Data[i] > 0 {
+					dx.Data[i] = gv
+				} else {
+					dx.Data[i] = alpha * gv
+				}
+			}
+			x.accum(dx)
+		}
+	}
+	return c.add(out)
+}
+
+// Tanh returns tanh(x) elementwise.
+func (c *Context) Tanh(x *Node) *Node {
+	v := tensor.Map(x.V, math.Tanh)
+	out := &Node{V: v, requires: x.requires}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			dx := tensor.New(g.R, g.C)
+			for i, gv := range g.Data {
+				dx.Data[i] = gv * (1 - v.Data[i]*v.Data[i])
+			}
+			x.accum(dx)
+		}
+	}
+	return c.add(out)
+}
+
+// SoftmaxRows applies row-wise softmax; mask (may be nil) is a constant
+// additive logit mask with −Inf at disabled positions.
+func (c *Context) SoftmaxRows(x *Node, mask *tensor.Tensor) *Node {
+	y := tensor.SoftmaxRows(x.V, mask)
+	out := &Node{V: y, requires: x.requires}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			// dx = y ⊙ (g − rowsum(g ⊙ y))
+			dx := tensor.New(g.R, g.C)
+			for i := 0; i < g.R; i++ {
+				grow, yrow, drow := g.Row(i), y.Row(i), dx.Row(i)
+				dotgy := 0.0
+				for j := range grow {
+					dotgy += grow[j] * yrow[j]
+				}
+				for j := range grow {
+					drow[j] = yrow[j] * (grow[j] - dotgy)
+				}
+			}
+			x.accum(dx)
+		}
+	}
+	return c.add(out)
+}
+
+// LayerNorm normalizes each row of x to zero mean and unit variance, then
+// scales by gamma and shifts by beta (both 1×C).
+func (c *Context) LayerNorm(x, gamma, beta *Node, eps float64) *Node {
+	n, d := x.V.R, x.V.C
+	xhat := tensor.New(n, d)
+	invstd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := x.V.Row(i)
+		mean := 0.0
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float64(d)
+		varr := 0.0
+		for _, v := range row {
+			dv := v - mean
+			varr += dv * dv
+		}
+		varr /= float64(d)
+		is := 1 / math.Sqrt(varr+eps)
+		invstd[i] = is
+		xrow := xhat.Row(i)
+		for j, v := range row {
+			xrow[j] = (v - mean) * is
+		}
+	}
+	y := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		yrow, xrow := y.Row(i), xhat.Row(i)
+		for j := range yrow {
+			yrow[j] = xrow[j]*gamma.V.Data[j] + beta.V.Data[j]
+		}
+	}
+	out := &Node{V: y, requires: anyRequires(x, gamma, beta)}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			if gamma.requires {
+				dg := tensor.New(1, d)
+				for i := 0; i < n; i++ {
+					grow, xrow := g.Row(i), xhat.Row(i)
+					for j := range grow {
+						dg.Data[j] += grow[j] * xrow[j]
+					}
+				}
+				gamma.accum(dg)
+			}
+			if beta.requires {
+				beta.accum(tensor.SumRows(g))
+			}
+			if x.requires {
+				dx := tensor.New(n, d)
+				for i := 0; i < n; i++ {
+					grow, xrow, drow := g.Row(i), xhat.Row(i), dx.Row(i)
+					// dxhat = g * gamma
+					sum1, sum2 := 0.0, 0.0
+					for j := range grow {
+						dxh := grow[j] * gamma.V.Data[j]
+						drow[j] = dxh
+						sum1 += dxh
+						sum2 += dxh * xrow[j]
+					}
+					inv := invstd[i] / float64(d)
+					for j := range drow {
+						drow[j] = inv * (float64(d)*drow[j] - sum1 - xrow[j]*sum2)
+					}
+				}
+				x.accum(dx)
+			}
+		}
+	}
+	return c.add(out)
+}
+
+// ConcatCols concatenates nodes along columns.
+func (c *Context) ConcatCols(xs ...*Node) *Node {
+	vs := make([]*tensor.Tensor, len(xs))
+	req := false
+	for i, x := range xs {
+		vs[i] = x.V
+		req = req || x.requires
+	}
+	out := &Node{V: tensor.ConcatCols(vs...), requires: req}
+	if req {
+		out.back = func(g *tensor.Tensor) {
+			off := 0
+			for _, x := range xs {
+				if x.requires {
+					x.accum(tensor.SliceCols(g, off, off+x.V.C))
+				}
+				off += x.V.C
+			}
+		}
+	}
+	return c.add(out)
+}
+
+// SliceCols extracts columns [lo, hi).
+func (c *Context) SliceCols(x *Node, lo, hi int) *Node {
+	out := &Node{V: tensor.SliceCols(x.V, lo, hi), requires: x.requires}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			dx := tensor.New(x.V.R, x.V.C)
+			for i := 0; i < g.R; i++ {
+				copy(dx.Row(i)[lo:hi], g.Row(i))
+			}
+			x.accum(dx)
+		}
+	}
+	return c.add(out)
+}
+
+// SumRows sums over rows, producing the 1×C graph-pooling vector.
+func (c *Context) SumRows(x *Node) *Node {
+	out := &Node{V: tensor.SumRows(x.V), requires: x.requires}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			dx := tensor.New(x.V.R, x.V.C)
+			for i := 0; i < dx.R; i++ {
+				copy(dx.Row(i), g.Row(0))
+			}
+			x.accum(dx)
+		}
+	}
+	return c.add(out)
+}
+
+// MeanRows averages over rows, producing a 1×C vector.
+func (c *Context) MeanRows(x *Node) *Node {
+	return c.Scale(c.SumRows(x), 1/float64(x.V.R))
+}
+
+// GatherRows selects rows of x by index (e.g. a positional-encoding table
+// addressed by node depth); gradients scatter-add back.
+func (c *Context) GatherRows(x *Node, idx []int) *Node {
+	out := &Node{V: tensor.GatherRows(x.V, idx), requires: x.requires}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			dx := tensor.New(x.V.R, x.V.C)
+			tensor.ScatterAddRows(dx, g, idx)
+			x.accum(dx)
+		}
+	}
+	return c.add(out)
+}
+
+// Abs returns |x| elementwise (subgradient 0 at 0).
+func (c *Context) Abs(x *Node) *Node {
+	out := &Node{V: tensor.Map(x.V, math.Abs), requires: x.requires}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			dx := tensor.New(g.R, g.C)
+			for i, gv := range g.Data {
+				switch {
+				case x.V.Data[i] > 0:
+					dx.Data[i] = gv
+				case x.V.Data[i] < 0:
+					dx.Data[i] = -gv
+				}
+			}
+			x.accum(dx)
+		}
+	}
+	return c.add(out)
+}
+
+// Square returns x² elementwise.
+func (c *Context) Square(x *Node) *Node { return c.Mul(x, x) }
+
+// MeanAll reduces x to its 1×1 scalar mean.
+func (c *Context) MeanAll(x *Node) *Node {
+	out := &Node{V: tensor.Full(1, 1, x.V.Sum()/float64(x.V.Size())), requires: x.requires}
+	if out.requires {
+		out.back = func(g *tensor.Tensor) {
+			x.accum(tensor.Full(x.V.R, x.V.C, g.Data[0]/float64(x.V.Size())))
+		}
+	}
+	return c.add(out)
+}
+
+// MAELoss returns mean |pred − target| as a 1×1 scalar; target is constant.
+func (c *Context) MAELoss(pred *Node, target *tensor.Tensor) *Node {
+	return c.MeanAll(c.Abs(c.Sub(pred, c.Const(target))))
+}
+
+// MSELoss returns mean (pred − target)² as a 1×1 scalar; target is constant.
+func (c *Context) MSELoss(pred *Node, target *tensor.Tensor) *Node {
+	return c.MeanAll(c.Square(c.Sub(pred, c.Const(target))))
+}

@@ -1,0 +1,220 @@
+package ag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"predtop/internal/tensor"
+)
+
+const (
+	gcEps = 1e-6
+	gcTol = 1e-5
+)
+
+func newRandParam(rng *rand.Rand, name string, r, c int) *Param {
+	return NewParam(name, tensor.Randn(rng, r, c, 0.7))
+}
+
+// checkOp grad-checks a scalar loss built from the given params.
+func checkOp(t *testing.T, params []*Param, build func(ctx *Context) *Node) {
+	t.Helper()
+	lossVal := func() float64 {
+		ctx := NewContext()
+		return build(ctx).V.At(0, 0)
+	}
+	grads := func() map[*Param]*tensor.Tensor {
+		return CollectGrads(params, build)
+	}
+	if err := GradCheck(params, lossVal, grads, gcEps, gcTol); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := newRandParam(rng, "a", 3, 4)
+	b := newRandParam(rng, "b", 4, 2)
+	checkOp(t, []*Param{a, b}, func(ctx *Context) *Node {
+		return ctx.MeanAll(ctx.Square(ctx.MatMul(ctx.Param(a), ctx.Param(b))))
+	})
+}
+
+func TestMatMulBTGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := newRandParam(rng, "a", 3, 5)
+	b := newRandParam(rng, "b", 4, 5)
+	checkOp(t, []*Param{a, b}, func(ctx *Context) *Node {
+		return ctx.MeanAll(ctx.Square(ctx.MatMulBT(ctx.Param(a), ctx.Param(b))))
+	})
+}
+
+func TestAddSubMulGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := newRandParam(rng, "a", 2, 3)
+	b := newRandParam(rng, "b", 2, 3)
+	checkOp(t, []*Param{a, b}, func(ctx *Context) *Node {
+		na, nb := ctx.Param(a), ctx.Param(b)
+		sum := ctx.Add(na, nb)
+		dif := ctx.Sub(na, nb)
+		prod := ctx.Mul(sum, dif)
+		return ctx.MeanAll(ctx.Square(prod))
+	})
+}
+
+func TestAddBiasGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := newRandParam(rng, "x", 4, 3)
+	b := newRandParam(rng, "b", 1, 3)
+	checkOp(t, []*Param{x, b}, func(ctx *Context) *Node {
+		return ctx.MeanAll(ctx.Square(ctx.AddBias(ctx.Param(x), ctx.Param(b))))
+	})
+}
+
+func TestAddOuterGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := newRandParam(rng, "a", 4, 1)
+	b := newRandParam(rng, "b", 3, 1)
+	checkOp(t, []*Param{a, b}, func(ctx *Context) *Node {
+		return ctx.MeanAll(ctx.Square(ctx.AddOuter(ctx.Param(a), ctx.Param(b))))
+	})
+}
+
+func TestActivationGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := newRandParam(rng, "x", 3, 4)
+	// Nudge values away from the ReLU kink to keep finite differences exact.
+	for i := range x.V.Data {
+		if math.Abs(x.V.Data[i]) < 1e-3 {
+			x.V.Data[i] = 0.1
+		}
+	}
+	checkOp(t, []*Param{x}, func(ctx *Context) *Node {
+		return ctx.MeanAll(ctx.Square(ctx.ReLU(ctx.Param(x))))
+	})
+	checkOp(t, []*Param{x}, func(ctx *Context) *Node {
+		return ctx.MeanAll(ctx.Square(ctx.LeakyReLU(ctx.Param(x), 0.2)))
+	})
+	checkOp(t, []*Param{x}, func(ctx *Context) *Node {
+		return ctx.MeanAll(ctx.Square(ctx.Tanh(ctx.Param(x))))
+	})
+	checkOp(t, []*Param{x}, func(ctx *Context) *Node {
+		return ctx.MeanAll(ctx.Abs(ctx.Param(x)))
+	})
+}
+
+func TestSoftmaxGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := newRandParam(rng, "x", 3, 5)
+	w := newRandParam(rng, "w", 5, 1)
+	checkOp(t, []*Param{x, w}, func(ctx *Context) *Node {
+		s := ctx.SoftmaxRows(ctx.Param(x), nil)
+		return ctx.MeanAll(ctx.Square(ctx.MatMul(s, ctx.Param(w))))
+	})
+}
+
+func TestSoftmaxMaskedGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := newRandParam(rng, "x", 3, 3)
+	inf := math.Inf(-1)
+	mask := tensor.FromRows([][]float64{{0, inf, 0}, {0, 0, 0}, {inf, 0, 0}})
+	w := newRandParam(rng, "w", 3, 1)
+	checkOp(t, []*Param{x, w}, func(ctx *Context) *Node {
+		s := ctx.SoftmaxRows(ctx.Param(x), mask)
+		return ctx.MeanAll(ctx.Square(ctx.MatMul(s, ctx.Param(w))))
+	})
+}
+
+func TestLayerNormGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := newRandParam(rng, "x", 4, 6)
+	g := NewParam("gamma", tensor.RandUniform(rng, 1, 6, 0.5, 1.5))
+	b := newRandParam(rng, "beta", 1, 6)
+	checkOp(t, []*Param{x, g, b}, func(ctx *Context) *Node {
+		y := ctx.LayerNorm(ctx.Param(x), ctx.Param(g), ctx.Param(b), 1e-5)
+		return ctx.MeanAll(ctx.Square(y))
+	})
+}
+
+func TestConcatSliceGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := newRandParam(rng, "a", 3, 2)
+	b := newRandParam(rng, "b", 3, 4)
+	checkOp(t, []*Param{a, b}, func(ctx *Context) *Node {
+		cat := ctx.ConcatCols(ctx.Param(a), ctx.Param(b))
+		left := ctx.SliceCols(cat, 0, 3)
+		return ctx.MeanAll(ctx.Square(left))
+	})
+}
+
+func TestSumMeanRowsGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := newRandParam(rng, "x", 5, 3)
+	checkOp(t, []*Param{x}, func(ctx *Context) *Node {
+		return ctx.MeanAll(ctx.Square(ctx.SumRows(ctx.Param(x))))
+	})
+	checkOp(t, []*Param{x}, func(ctx *Context) *Node {
+		return ctx.MeanAll(ctx.Square(ctx.MeanRows(ctx.Param(x))))
+	})
+}
+
+func TestGatherRowsGrad(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	table := newRandParam(rng, "table", 6, 4)
+	idx := []int{0, 2, 2, 5}
+	checkOp(t, []*Param{table}, func(ctx *Context) *Node {
+		return ctx.MeanAll(ctx.Square(ctx.GatherRows(ctx.Param(table), idx)))
+	})
+}
+
+func TestLossGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	w := newRandParam(rng, "w", 4, 1)
+	x := tensor.Randn(rng, 3, 4, 1)
+	y := tensor.Randn(rng, 3, 1, 1)
+	checkOp(t, []*Param{w}, func(ctx *Context) *Node {
+		pred := ctx.MatMul(ctx.Const(x), ctx.Param(w))
+		return ctx.MAELoss(pred, y)
+	})
+	checkOp(t, []*Param{w}, func(ctx *Context) *Node {
+		pred := ctx.MatMul(ctx.Const(x), ctx.Param(w))
+		return ctx.MSELoss(pred, y)
+	})
+}
+
+func TestParamReuseAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	w := newRandParam(rng, "w", 2, 2)
+	// Using the same parameter twice must accumulate both gradient paths.
+	checkOp(t, []*Param{w}, func(ctx *Context) *Node {
+		n := ctx.Param(w)
+		return ctx.MeanAll(ctx.Square(ctx.MatMul(n, n)))
+	})
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-scalar loss")
+		}
+	}()
+	ctx := NewContext()
+	n := ctx.Const(tensor.New(2, 2))
+	ctx.Backward(n)
+}
+
+func TestConstHasNoGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	ctx := NewContext()
+	cst := ctx.Const(tensor.Randn(rng, 2, 2, 1))
+	w := newRandParam(rng, "w", 2, 2)
+	loss := ctx.MeanAll(ctx.Square(ctx.MatMul(cst, ctx.Param(w))))
+	ctx.Backward(loss)
+	if cst.Grad() != nil && cst.Grad().MaxAbs() != 0 {
+		t.Fatal("constant should not receive gradient")
+	}
+	if w.Grad.MaxAbs() == 0 {
+		t.Fatal("parameter gradient should be nonzero")
+	}
+}

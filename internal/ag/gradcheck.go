@@ -1,0 +1,69 @@
+package ag
+
+import (
+	"fmt"
+
+	"predtop/internal/tensor"
+)
+
+// GradCheck compares the analytic gradient of loss() with central finite
+// differences for every element of every parameter. loss must rebuild the
+// forward pass (on a fresh Context) at each call so parameter perturbations
+// take effect. It returns an error naming the first element whose gradients
+// disagree beyond tol.
+func GradCheck(params []*Param, loss func() float64, grads func() map[*Param]*tensor.Tensor, eps, tol float64) error {
+	analytic := grads()
+	for _, p := range params {
+		ga := analytic[p]
+		if ga == nil {
+			return fmt.Errorf("ag: no analytic gradient for %q", p.Name)
+		}
+		for i := range p.V.Data {
+			orig := p.V.Data[i]
+			p.V.Data[i] = orig + eps
+			up := loss()
+			p.V.Data[i] = orig - eps
+			down := loss()
+			p.V.Data[i] = orig
+			num := (up - down) / (2 * eps)
+			diff := num - ga.Data[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			scale := 1.0
+			if a := abs(num) + abs(ga.Data[i]); a > 1 {
+				scale = a
+			}
+			if diff/scale > tol {
+				return fmt.Errorf("ag: gradient mismatch %s[%d]: numeric %.8g analytic %.8g",
+					p.Name, i, num, ga.Data[i])
+			}
+		}
+	}
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// CollectGrads runs build (which must construct a forward pass and return its
+// scalar loss node along with the context), backpropagates, and returns a
+// snapshot of each parameter's gradient. Parameter gradients are zeroed
+// before the pass so the snapshot reflects exactly one backward call.
+func CollectGrads(params []*Param, build func(ctx *Context) *Node) map[*Param]*tensor.Tensor {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	ctx := NewContext()
+	loss := build(ctx)
+	ctx.Backward(loss)
+	out := make(map[*Param]*tensor.Tensor, len(params))
+	for _, p := range params {
+		out[p] = p.Grad.Clone()
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"predtop/internal/cluster"
+	"predtop/internal/graphnn"
+	"predtop/internal/predictor"
+)
+
+// micro is a minimal preset for fast end-to-end harness tests.
+func micro() Preset {
+	return Preset{
+		Name:      "micro",
+		GPTStages: 14, MoEStages: 12, MaxLen: 2, MoEMaxLen: 2,
+		GPTLayers: 6, MoELayers: 6,
+		Fractions: []int{40, 70},
+		ValFrac:   0.15,
+		Train:     predictor.TrainConfig{Epochs: 4, Patience: 4, BatchSize: 4},
+		Tran:      graphnn.TransformerConfig{Layers: 1, Dim: 16, Heads: 2, FFNDim: 32},
+		GCN:       graphnn.GCNConfig{Layers: 2, Dim: 16},
+		GAT:       graphnn.GATConfig{Layers: 1, Dim: 8, Heads: 2},
+
+		Microbatches:  8,
+		PlanMaxLenGPT: 4, PlanMaxLenMoE: 4,
+		Fig10MoELayers: 6,
+		PredSampleFrac: 0.3,
+		PartialAlpha:   1.6,
+		PlanTrain:      predictor.TrainConfig{Epochs: 4, Patience: 4, BatchSize: 4},
+
+		RandomPlans: 6,
+		Seed:        3,
+	}
+}
+
+func TestPresetsSane(t *testing.T) {
+	for _, p := range []Preset{Quick(), Paper()} {
+		bs := p.Benchmarks()
+		if len(bs) != 2 || bs[0].Name != "GPT-3" || bs[1].Name != "MoE" {
+			t.Fatalf("%s benchmarks: %+v", p.Name, bs)
+		}
+		if len(p.Fractions) == 0 || p.Train.Epochs == 0 {
+			t.Fatalf("%s preset incomplete", p.Name)
+		}
+		for _, b := range bs {
+			if b.MaxLen < 1 {
+				t.Fatalf("%s %s MaxLen %d", p.Name, b.Name, b.MaxLen)
+			}
+		}
+	}
+	// Quick shrinks models; Paper keeps Table IV depths.
+	if Quick().Benchmarks()[0].Config.Layers >= 24 {
+		t.Fatal("quick preset should shrink GPT-3")
+	}
+	if Paper().Benchmarks()[0].Config.Layers != 24 || Paper().Benchmarks()[1].Config.Layers != 32 {
+		t.Fatal("paper preset must keep Table IV depths")
+	}
+}
+
+func TestRunMRETableEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	p := micro()
+	tab := RunMRETable(p, p.Benchmarks()[0], cluster.Platform1(), nil)
+	if len(tab.MRE) != len(p.Fractions) {
+		t.Fatalf("fractions: %d", len(tab.MRE))
+	}
+	if len(tab.Scenarios) != 3 {
+		t.Fatalf("platform-1 scenarios: %d", len(tab.Scenarios))
+	}
+	for fi := range tab.MRE {
+		for si := range tab.MRE[fi] {
+			for mi, v := range tab.MRE[fi][si] {
+				if v <= 0 || v != v {
+					t.Fatalf("MRE[%d][%d][%d] = %v", fi, si, mi, v)
+				}
+			}
+		}
+	}
+	out := tab.Render()
+	for _, want := range []string{"GPT-3", "Mesh 1", "GCN", "Tran", "70%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if w := tab.WinRate(0) + tab.WinRate(1) + tab.WinRate(2); w < 0.999 || w > 1.001 {
+		t.Fatalf("win rates don't partition: %v", w)
+	}
+
+	aggs := Aggregates([]*MRETable{tab})
+	if len(aggs) != len(p.Fractions)*len(ModelNames) {
+		t.Fatalf("aggregates: %d", len(aggs))
+	}
+	for _, std := range []bool{false, true} {
+		if out := RenderAggregates(aggs, std); !strings.Contains(out, "GPT-3") {
+			t.Fatal("aggregate render missing series")
+		}
+	}
+	if out := RenderFig3([]*MRETable{tab}, 70); !strings.Contains(out, "Tran") {
+		t.Fatal("Fig 3 render empty")
+	}
+}
+
+func TestRunFig2EndToEnd(t *testing.T) {
+	p := micro()
+	rs := RunFig2(p, nil)
+	if len(rs) != 2 {
+		t.Fatalf("fig2 results: %d", len(rs))
+	}
+	for _, r := range rs {
+		if len(r.Latencies) == 0 {
+			t.Fatalf("%s: no plans", r.Benchmark)
+		}
+		if r.Spread() < 1 {
+			t.Fatalf("%s: spread %v", r.Benchmark, r.Spread())
+		}
+		if out := r.Render(); !strings.Contains(out, "median") {
+			t.Fatal("fig2 render missing stats")
+		}
+	}
+}
+
+func TestRunFig10EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	p := micro()
+	runs := RunFig10(p, p.Benchmarks()[0], nil)
+	if len(runs) != 5 {
+		t.Fatalf("fig10 versions: %d", len(runs))
+	}
+	var full, partial PlanRun
+	for _, r := range runs {
+		if !r.OK {
+			t.Fatalf("%s failed", r.Version)
+		}
+		if r.OptimizeSeconds <= 0 || r.IterationLatency <= 0 {
+			t.Fatalf("%s: zero cost or latency", r.Version)
+		}
+		switch r.Version {
+		case "Alpa-Full":
+			full = r
+		case "Alpa-Partial":
+			partial = r
+		}
+	}
+	if partial.OptimizeSeconds >= full.OptimizeSeconds {
+		t.Fatal("partial profiling must cost less than full")
+	}
+	// Every predictor version must beat partial profiling on cost — the
+	// core Fig-10a claim.
+	for _, r := range runs[2:] {
+		if r.OptimizeSeconds >= partial.OptimizeSeconds {
+			t.Fatalf("%s (%.0fs) not cheaper than partial (%.0fs)",
+				r.Version, r.OptimizeSeconds, partial.OptimizeSeconds)
+		}
+	}
+	out := RenderFig10("GPT-3", runs)
+	for _, want := range []string{"(a) optimization time", "(b) iteration latency", "vs partial", "vs full"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig10 render missing %q", want)
+		}
+	}
+}
+
+func TestRenderFig6(t *testing.T) {
+	out := RenderFig6()
+	if !strings.Contains(out, "stage 4") || !strings.Contains(out, "Eqn 4") {
+		t.Fatalf("fig6 render:\n%s", out)
+	}
+}
+
+func TestRunAblationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	p := micro()
+	rows := RunAblation(p, p.Benchmarks()[0], cluster.Platform1(), 0.5, nil)
+	if len(rows) != 5 {
+		t.Fatalf("ablation rows: %d", len(rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		if r.MRE <= 0 {
+			t.Fatalf("%s: MRE %v", r.Variant, r.MRE)
+		}
+		byName[r.Variant] = r
+	}
+	// Pruning must shrink the encoded graphs.
+	if byName["no-pruning"].AvgN <= byName["full"].AvgN {
+		t.Fatalf("pruning did not shrink graphs: %v vs %v",
+			byName["no-pruning"].AvgN, byName["full"].AvgN)
+	}
+	if out := RenderAblation("GPT-3", rows); !strings.Contains(out, "no-DAGRA") {
+		t.Fatal("ablation render incomplete")
+	}
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"predtop/internal/cluster"
+	"predtop/internal/models"
+	"predtop/internal/planner"
+	"predtop/internal/sim"
+)
+
+// PlanRun is one bar of Fig 10: a planner version's optimization cost (10a)
+// and the ground-truth iteration latency of the plan it produced (10b).
+type PlanRun struct {
+	Version          string
+	OptimizeSeconds  float64 // simulated optimization cost
+	Meter            planner.Meter
+	IterationLatency float64 // ground-truth Eqn-4 latency of the plan
+	Stages           int
+	OK               bool
+}
+
+// RunFig10 reproduces the Fig-10 use case for one benchmark on Platform 2:
+// vanilla Alpa with full and partial profiling versus PredTOP with DAG
+// Transformer, GCN, and GAT predictors.
+func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
+	if log == nil {
+		log = io.Discard
+	}
+	platform := cluster.Platform2()
+	cfg := bench.Config
+	maxLen := p.PlanMaxLenGPT
+	if bench.Name == "MoE" {
+		maxLen = p.PlanMaxLenMoE
+		if p.Fig10MoELayers > 0 {
+			cfg.Layers = p.Fig10MoELayers
+		}
+	} else if p.Fig10GPTLayers > 0 {
+		cfg.Layers = p.Fig10GPTLayers
+	}
+	mdl := models.Build(cfg)
+	prof := sim.DefaultProfiler()
+	opts := planner.Options{Microbatches: p.Microbatches, MaxStageLen: maxLen}
+
+	runWith := func(version string, latFn planner.LatencyFn, meter *planner.Meter) PlanRun {
+		plan, ok := planner.Optimize(mdl.NumSegments(), platform, latFn, opts)
+		run := PlanRun{Version: version, Meter: *meter, OptimizeSeconds: meter.Total(), OK: ok}
+		if ok {
+			run.Stages = plan.NumStages()
+			if lat, evalOK := planner.EvaluatePlan(mdl, plan, p.Microbatches); evalOK {
+				run.IterationLatency = lat
+			} else {
+				run.OK = false
+			}
+		}
+		fmt.Fprintf(log, "[fig10 %s] %-13s opt %.0fs (profile %.0fs train %.0fs infer %.0fs, %d profiles) iter %.3fs stages %d\n",
+			bench.Name, version, run.OptimizeSeconds, meter.ProfileSeconds, meter.TrainSeconds,
+			meter.InferSeconds, meter.StagesProfiled, run.IterationLatency, run.Stages)
+		return run
+	}
+
+	var out []PlanRun
+	{
+		meter := &planner.Meter{}
+		out = append(out, runWith("Alpa-Full", planner.FullProfiling(mdl, prof, meter), meter))
+	}
+	{
+		meter := &planner.Meter{}
+		out = append(out, runWith("Alpa-Partial", planner.PartialProfiling(mdl, prof, meter, p.PartialAlpha), meter))
+	}
+	for _, kind := range []planner.PredictorKind{planner.KindGCN, planner.KindGAT, planner.KindTransformer} {
+		meter := &planner.Meter{}
+		latFn := planner.TrainPredictorProvider(mdl, platform, planner.PredictorOptions{
+			Kind:        kind,
+			SampleFrac:  p.PredSampleFrac,
+			MaxStageLen: maxLen,
+			Train:       p.PlanTrain,
+			Tran:        p.Tran,
+			GCN:         p.GCN,
+			GAT:         p.GAT,
+			Seed:        p.Seed,
+		}, prof, meter)
+		out = append(out, runWith(kind.String(), latFn, meter))
+	}
+	return out
+}
+
+// RenderFig10 prints both panels: optimization cost (10a) and the iteration
+// latency of the optimized plan (10b), with percentage deltas against the
+// profiling baselines as the paper reports them.
+func RenderFig10(bench string, runs []PlanRun) string {
+	var b strings.Builder
+	var partialOpt, baseIter float64
+	for _, r := range runs {
+		if r.Version == "Alpa-Partial" {
+			partialOpt = r.OptimizeSeconds
+		}
+		if r.Version == "Alpa-Full" {
+			baseIter = r.IterationLatency
+		}
+	}
+	fmt.Fprintf(&b, "Fig 10 (%s benchmark, Platform 2)\n", bench)
+	fmt.Fprintf(&b, "(a) optimization time (simulated seconds)\n")
+	fmt.Fprintf(&b, "    %-14s %12s %12s %10s %10s %12s\n", "version", "total", "profile", "train", "infer", "vs partial")
+	for _, r := range runs {
+		delta := ""
+		if partialOpt > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (r.OptimizeSeconds-partialOpt)/partialOpt*100)
+		}
+		fmt.Fprintf(&b, "    %-14s %12.0f %12.0f %10.0f %10.0f %12s\n",
+			r.Version, r.OptimizeSeconds, r.Meter.ProfileSeconds, r.Meter.TrainSeconds, r.Meter.InferSeconds, delta)
+	}
+	fmt.Fprintf(&b, "(b) iteration latency of the optimized plan (seconds)\n")
+	fmt.Fprintf(&b, "    %-14s %12s %8s %12s\n", "version", "latency", "stages", "vs full")
+	for _, r := range runs {
+		delta := ""
+		if baseIter > 0 && r.OK {
+			delta = fmt.Sprintf("%+.1f%%", (r.IterationLatency-baseIter)/baseIter*100)
+		}
+		fmt.Fprintf(&b, "    %-14s %12.4f %8d %12s\n", r.Version, r.IterationLatency, r.Stages, delta)
+	}
+	return b.String()
+}

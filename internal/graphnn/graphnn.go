@@ -1,0 +1,342 @@
+// Package graphnn implements the three stage-latency prediction models the
+// paper compares (§IV, §VII-D): the DAG Transformer (reachability-masked
+// attention with depth positional encodings, Luo et al.), and the GCN and
+// GAT message-passing baselines. All three consume an encoded stage graph
+// (internal/stage) and produce one scalar — the predicted optimal
+// intra-stage latency — via global add pooling (Eqn 2) and an MLP head.
+package graphnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"predtop/internal/ag"
+	"predtop/internal/nn"
+	"predtop/internal/stage"
+	"predtop/internal/tensor"
+)
+
+// poolScale conditions the global-add-pool output: stage DAGs carry tens to
+// hundreds of nodes, so the raw pooled vector is O(N) and would start the
+// prediction head hundreds of units from the normalized targets. A fixed
+// 1/64 factor keeps pooling additive in the node count while letting every
+// architecture converge within the CPU-scale epoch budget.
+const poolScale = 1.0 / 64
+
+// Model is a stage-latency predictor.
+type Model interface {
+	nn.Module
+	// Predict maps an encoded stage graph to a 1×1 latency prediction.
+	Predict(ctx *ag.Context, e *stage.Encoded) *ag.Node
+	// Name identifies the architecture ("Tran", "GCN", "GAT").
+	Name() string
+	// Spec returns the serializable architecture description.
+	Spec() ModelSpec
+}
+
+// ModelSpec is a serializable architecture description from which an
+// identically-shaped model can be rebuilt (see Build).
+type ModelSpec struct {
+	Arch string // "Tran", "GCN", or "GAT"
+	Tran TransformerConfig
+	GCN  GCNConfig
+	GAT  GATConfig
+}
+
+// Build reconstructs a freshly-initialized model of this spec.
+func (s ModelSpec) Build(rng *rand.Rand) (Model, error) {
+	switch s.Arch {
+	case "Tran":
+		return NewDAGTransformer(rng, s.Tran), nil
+	case "GCN":
+		return NewGCN(rng, s.GCN), nil
+	case "GAT":
+		return NewGAT(rng, s.GAT), nil
+	}
+	return nil, fmt.Errorf("graphnn: unknown architecture %q", s.Arch)
+}
+
+// TransformerConfig configures a DAG Transformer predictor. The zero value
+// is replaced by the paper's hyper-parameters (§IV-B6: 4 layers, dim 64).
+type TransformerConfig struct {
+	Layers  int
+	Dim     int
+	Heads   int
+	FFNDim  int
+	MaxPos  int // positional-encoding table size (clamped depths)
+	HeadDim int // MLP head hidden width
+}
+
+func (c TransformerConfig) withDefaults() TransformerConfig {
+	if c.Layers == 0 {
+		c.Layers = 4
+	}
+	if c.Dim == 0 {
+		c.Dim = 64
+	}
+	if c.Heads == 0 {
+		c.Heads = 4
+	}
+	if c.FFNDim == 0 {
+		c.FFNDim = 2 * c.Dim
+	}
+	if c.MaxPos == 0 {
+		c.MaxPos = 512
+	}
+	if c.HeadDim == 0 {
+		c.HeadDim = c.Dim
+	}
+	return c
+}
+
+// tranLayer is one DAG Transformer layer (Fig 4): masked multi-head
+// attention and a feed-forward block, each with residual + layer norm.
+type tranLayer struct {
+	attn *nn.MultiHeadAttention
+	ln1  *nn.LayerNorm
+	ffn  *nn.FeedForward
+	ln2  *nn.LayerNorm
+}
+
+// DAGTransformer is the paper's predictor: reachability-based attention
+// (DAGRA, Eqn 1 with k = ∞) plus depth positional encodings (DAGPE).
+type DAGTransformer struct {
+	cfg    TransformerConfig
+	input  *nn.Linear
+	pe     *tensor.Tensor
+	layers []*tranLayer
+	head   *nn.MLPHead
+}
+
+// NewDAGTransformer builds a DAG Transformer predictor.
+func NewDAGTransformer(rng *rand.Rand, cfg TransformerConfig) *DAGTransformer {
+	cfg = cfg.withDefaults()
+	m := &DAGTransformer{
+		cfg:   cfg,
+		input: nn.NewLinear(rng, "tran.in", stage.FeatureDim, cfg.Dim),
+		pe:    nn.SinusoidalPE(cfg.MaxPos, cfg.Dim),
+		head:  nn.NewMLPHead(rng, "tran.head", cfg.Dim, cfg.HeadDim),
+	}
+	for i := 0; i < cfg.Layers; i++ {
+		name := "tran.l" + itoa(i)
+		m.layers = append(m.layers, &tranLayer{
+			attn: nn.NewMultiHeadAttention(rng, name+".attn", cfg.Dim, cfg.Heads),
+			ln1:  nn.NewLayerNorm(name+".ln1", cfg.Dim),
+			ffn:  nn.NewFeedForward(rng, name+".ffn", cfg.Dim, cfg.FFNDim),
+			ln2:  nn.NewLayerNorm(name+".ln2", cfg.Dim),
+		})
+	}
+	return m
+}
+
+// Name implements Model.
+func (m *DAGTransformer) Name() string { return "Tran" }
+
+// Spec implements Model.
+func (m *DAGTransformer) Spec() ModelSpec { return ModelSpec{Arch: "Tran", Tran: m.cfg} }
+
+// Predict implements Model.
+func (m *DAGTransformer) Predict(ctx *ag.Context, e *stage.Encoded) *ag.Node {
+	x := m.input.Forward(ctx, ctx.Const(e.X))
+	// DAGPE: add the sinusoidal encoding of each node's depth.
+	idx := make([]int, len(e.Depths))
+	for i, d := range e.Depths {
+		if d >= m.cfg.MaxPos {
+			d = m.cfg.MaxPos - 1
+		}
+		idx[i] = d
+	}
+	x = ctx.Add(x, ctx.GatherRows(ctx.Const(m.pe), idx))
+	// Pre-LN layers: the residual stream stays unnormalized, so per-node
+	// cost magnitudes survive to the additive pooling (Eqn 2).
+	for _, l := range m.layers {
+		x = ctx.Add(x, l.attn.Forward(ctx, l.ln1.Forward(ctx, x), e.ReachMask))
+		x = ctx.Add(x, l.ffn.Forward(ctx, l.ln2.Forward(ctx, x)))
+	}
+	pooled := ctx.Scale(ctx.SumRows(x), poolScale) // global add pool (Eqn 2)
+	return m.head.Forward(ctx, pooled)
+}
+
+// Params implements nn.Module.
+func (m *DAGTransformer) Params() []*ag.Param {
+	ps := m.input.Params()
+	for _, l := range m.layers {
+		ps = append(ps, l.attn.Params()...)
+		ps = append(ps, l.ln1.Params()...)
+		ps = append(ps, l.ffn.Params()...)
+		ps = append(ps, l.ln2.Params()...)
+	}
+	return append(ps, m.head.Params()...)
+}
+
+// GCNConfig configures the GCN baseline (paper: 6 layers of size 256).
+type GCNConfig struct {
+	Layers int
+	Dim    int
+}
+
+func (c GCNConfig) withDefaults() GCNConfig {
+	if c.Layers == 0 {
+		c.Layers = 6
+	}
+	if c.Dim == 0 {
+		c.Dim = 256
+	}
+	return c
+}
+
+// GCN is the graph-convolution baseline: X ← ReLU(Â X W + b) with
+// Â = D^{-1/2}(A+I)D^{-1/2}.
+type GCN struct {
+	cfg    GCNConfig
+	layers []*nn.Linear
+	head   *nn.MLPHead
+}
+
+// NewGCN builds a GCN predictor.
+func NewGCN(rng *rand.Rand, cfg GCNConfig) *GCN {
+	cfg = cfg.withDefaults()
+	m := &GCN{cfg: cfg}
+	in := stage.FeatureDim
+	for i := 0; i < cfg.Layers; i++ {
+		m.layers = append(m.layers, nn.NewLinear(rng, "gcn.l"+itoa(i), in, cfg.Dim))
+		in = cfg.Dim
+	}
+	m.head = nn.NewMLPHead(rng, "gcn.head", cfg.Dim, cfg.Dim/2)
+	return m
+}
+
+// Name implements Model.
+func (m *GCN) Name() string { return "GCN" }
+
+// Spec implements Model.
+func (m *GCN) Spec() ModelSpec { return ModelSpec{Arch: "GCN", GCN: m.cfg} }
+
+// Predict implements Model.
+func (m *GCN) Predict(ctx *ag.Context, e *stage.Encoded) *ag.Node {
+	x := ctx.Const(e.X)
+	adj := ctx.Const(e.AdjNorm)
+	for _, l := range m.layers {
+		x = ctx.ReLU(l.Forward(ctx, ctx.MatMul(adj, x)))
+	}
+	return m.head.Forward(ctx, ctx.Scale(ctx.SumRows(x), poolScale))
+}
+
+// Params implements nn.Module.
+func (m *GCN) Params() []*ag.Param {
+	var ps []*ag.Param
+	for _, l := range m.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return append(ps, m.head.Params()...)
+}
+
+// GATConfig configures the GAT baseline (paper: hidden dimension 32,
+// 6 layers).
+type GATConfig struct {
+	Layers int
+	Dim    int
+	Heads  int
+	Alpha  float64 // LeakyReLU slope
+}
+
+func (c GATConfig) withDefaults() GATConfig {
+	if c.Layers == 0 {
+		c.Layers = 6
+	}
+	if c.Dim == 0 {
+		c.Dim = 32
+	}
+	if c.Heads == 0 {
+		c.Heads = 4
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.2
+	}
+	return c
+}
+
+// gatLayer is one multi-head graph-attention layer.
+type gatLayer struct {
+	w        []*nn.Linear // per-head projection
+	aSrc     []*ag.Param  // per-head source attention vector
+	aDst     []*ag.Param  // per-head destination attention vector
+	alpha    float64
+	headDim  int
+	numHeads int
+}
+
+// GAT is the graph-attention baseline: masked attention restricted to 1-hop
+// neighbours.
+type GAT struct {
+	cfg    GATConfig
+	layers []*gatLayer
+	head   *nn.MLPHead
+}
+
+// NewGAT builds a GAT predictor.
+func NewGAT(rng *rand.Rand, cfg GATConfig) *GAT {
+	cfg = cfg.withDefaults()
+	if cfg.Dim%cfg.Heads != 0 {
+		panic("graphnn: GAT dim must divide by heads")
+	}
+	m := &GAT{cfg: cfg}
+	in := stage.FeatureDim
+	hd := cfg.Dim / cfg.Heads
+	for i := 0; i < cfg.Layers; i++ {
+		l := &gatLayer{alpha: cfg.Alpha, headDim: hd, numHeads: cfg.Heads}
+		for h := 0; h < cfg.Heads; h++ {
+			name := "gat.l" + itoa(i) + ".h" + itoa(h)
+			l.w = append(l.w, nn.NewLinear(rng, name+".w", in, hd))
+			l.aSrc = append(l.aSrc, ag.NewParam(name+".as", tensor.RandUniform(rng, hd, 1, -0.3, 0.3)))
+			l.aDst = append(l.aDst, ag.NewParam(name+".ad", tensor.RandUniform(rng, hd, 1, -0.3, 0.3)))
+		}
+		m.layers = append(m.layers, l)
+		in = cfg.Dim
+	}
+	m.head = nn.NewMLPHead(rng, "gat.head", cfg.Dim, cfg.Dim)
+	return m
+}
+
+// Name implements Model.
+func (m *GAT) Name() string { return "GAT" }
+
+// Spec implements Model.
+func (m *GAT) Spec() ModelSpec { return ModelSpec{Arch: "GAT", GAT: m.cfg} }
+
+// Predict implements Model.
+func (m *GAT) Predict(ctx *ag.Context, e *stage.Encoded) *ag.Node {
+	x := ctx.Const(e.X)
+	for _, l := range m.layers {
+		heads := make([]*ag.Node, l.numHeads)
+		for h := 0; h < l.numHeads; h++ {
+			wh := l.w[h].Forward(ctx, x) // N×hd
+			s1 := ctx.MatMul(wh, ctx.Param(l.aSrc[h]))
+			s2 := ctx.MatMul(wh, ctx.Param(l.aDst[h]))
+			logits := ctx.LeakyReLU(ctx.AddOuter(s1, s2), l.alpha)
+			attn := ctx.SoftmaxRows(logits, e.NeighborMask)
+			heads[h] = ctx.MatMul(attn, wh)
+		}
+		x = ctx.ReLU(ctx.ConcatCols(heads...))
+	}
+	return m.head.Forward(ctx, ctx.Scale(ctx.SumRows(x), poolScale))
+}
+
+// Params implements nn.Module.
+func (m *GAT) Params() []*ag.Param {
+	var ps []*ag.Param
+	for _, l := range m.layers {
+		for h := 0; h < l.numHeads; h++ {
+			ps = append(ps, l.w[h].Params()...)
+			ps = append(ps, l.aSrc[h], l.aDst[h])
+		}
+	}
+	return append(ps, m.head.Params()...)
+}
+
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return string(rune('0'+i/10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,235 @@
+package ir
+
+// AppendBackward emits the backward pass for everything built so far,
+// seeding a cotangent at every declared output and propagating gradients to
+// every trainable weight, whose gradients are marked as new graph outputs.
+//
+// The emitted operators have faithful kinds and shapes — which is all the
+// cost model and the predictors consume — mirroring how JAX's grad transform
+// roughly doubles a training stage's jaxpr. Numeric semantics are not
+// materialized anywhere in this IR, so rules that would need index bookkeeping
+// (e.g. the cotangent of slice) are emitted with shape-level fidelity only.
+func (b *Builder) AppendBackward() {
+	grads := make(map[*Node]*Node, len(b.nodes))
+
+	// accum adds contribution g to node n's cotangent, reducing over
+	// broadcast axes when the forward op implicitly broadcast n into a
+	// larger operand.
+	accum := func(n *Node, g *Node) {
+		if n == nil || g == nil {
+			return
+		}
+		if !sameShape(g.Shape, n.Shape) {
+			switch {
+			case isScalarShape(n.Shape):
+				axes := make([]int, len(g.Shape))
+				for i := range axes {
+					axes[i] = i
+				}
+				g = b.Reduce(KindReduceSum, g, axes...)
+			case isPrefixShape(n.Shape, g.Shape):
+				axes := make([]int, 0, len(g.Shape)-len(n.Shape))
+				for i := len(n.Shape); i < len(g.Shape); i++ {
+					axes = append(axes, i)
+				}
+				g = b.Reduce(KindReduceSum, g, axes...)
+			}
+			if !sameShape(g.Shape, n.Shape) {
+				g = b.Reshape(g, n.Shape)
+			}
+		}
+		if prev, ok := grads[n]; ok {
+			grads[n] = b.Ewise(KindAdd, prev, g)
+			return
+		}
+		grads[n] = g
+	}
+
+	// Seed every forward output with a cotangent literal.
+	fwd := append([]*Node{}, b.nodes...)
+	for _, out := range b.outputs {
+		seed := b.Literal("ct."+out.Label, out.Shape, out.DType)
+		accum(out, seed)
+	}
+
+	zerosLike := func(n *Node) *Node { return b.Literal("zeros", n.Shape, n.DType) }
+	onesLike := func(n *Node) *Node { return b.Literal("ones", n.Shape, n.DType) }
+
+	for i := len(fwd) - 1; i >= 0; i-- {
+		n := fwd[i]
+		g := grads[n]
+		if g == nil {
+			continue
+		}
+		switch n.Class {
+		case ClassOutput:
+			accum(n.Ins[0], g)
+			continue
+		case ClassInput, ClassLiteral:
+			continue
+		}
+		switch n.Kind {
+		case KindDot:
+			a, c := n.Ins[0], n.Ins[1]
+			if a.Class != ClassLiteral || a.Param {
+				bt := b.Transpose(c, swapLastTwo(len(c.Shape))...)
+				accum(a, b.Dot(g, bt))
+			}
+			if c.Class != ClassLiteral || c.Param {
+				at := b.Transpose(a, swapLastTwo(len(a.Shape))...)
+				dc := b.Dot(at, g) // [..., k, n]
+				// When the weight is rank-2 but activations carry batch
+				// axes, the weight gradient reduces over them.
+				if len(dc.Shape) > len(c.Shape) {
+					axes := make([]int, len(dc.Shape)-len(c.Shape))
+					for j := range axes {
+						axes[j] = j
+					}
+					dc = b.Reduce(KindReduceSum, dc, axes...)
+				}
+				accum(c, dc)
+			}
+		case KindAdd:
+			accum(n.Ins[0], g)
+			accum(n.Ins[1], g)
+		case KindSub:
+			accum(n.Ins[0], g)
+			accum(n.Ins[1], b.Unary(KindNeg, g))
+		case KindMul:
+			accum(n.Ins[0], b.Ewise(KindMul, g, n.Ins[1]))
+			accum(n.Ins[1], b.Ewise(KindMul, g, n.Ins[0]))
+		case KindDiv:
+			t := b.Ewise(KindDiv, g, n.Ins[1])
+			accum(n.Ins[0], t)
+			q := b.Ewise(KindDiv, n.Ins[0], n.Ins[1])
+			accum(n.Ins[1], b.Unary(KindNeg, b.Ewise(KindMul, t, q)))
+		case KindMax, KindMin:
+			mask := b.Ewise(KindCompare, n.Ins[0], n.Ins[1])
+			z := zerosLike(g)
+			accum(n.Ins[0], b.Select(mask, g, z))
+			accum(n.Ins[1], b.Select(mask, z, g))
+		case KindNeg:
+			accum(n.Ins[0], b.Unary(KindNeg, g))
+		case KindExp:
+			accum(n.Ins[0], b.Ewise(KindMul, g, n))
+		case KindLog:
+			accum(n.Ins[0], b.Ewise(KindDiv, g, n.Ins[0]))
+		case KindTanh:
+			sq := b.Ewise(KindMul, n, n)
+			om := b.Ewise(KindSub, onesLike(n), sq)
+			accum(n.Ins[0], b.Ewise(KindMul, g, om))
+		case KindErf:
+			x2 := b.Ewise(KindMul, n.Ins[0], n.Ins[0])
+			e := b.Unary(KindExp, b.Unary(KindNeg, x2))
+			accum(n.Ins[0], b.Ewise(KindMul, g, e))
+		case KindRsqrt:
+			cube := b.Ewise(KindMul, n, b.Ewise(KindMul, n, n))
+			accum(n.Ins[0], b.Unary(KindNeg, b.Ewise(KindMul, g, cube)))
+		case KindSqrt:
+			accum(n.Ins[0], b.Ewise(KindDiv, g, n))
+		case KindCompare, KindIota, KindOneHot:
+			// No differentiable inputs.
+		case KindSelect:
+			z := zerosLike(g)
+			accum(n.Ins[1], b.Select(n.Ins[0], g, z))
+			accum(n.Ins[2], b.Select(n.Ins[0], z, g))
+		case KindReduceSum:
+			accum(n.Ins[0], b.Broadcast(g, n.Ins[0].Shape))
+		case KindReduceMax:
+			bg := b.Broadcast(g, n.Ins[0].Shape)
+			bm := b.Broadcast(n, n.Ins[0].Shape)
+			mask := b.Ewise(KindCompare, n.Ins[0], bm)
+			accum(n.Ins[0], b.Select(mask, bg, zerosLike(bg)))
+		case KindBroadcast:
+			in := n.Ins[0]
+			if in.NumElements() == n.NumElements() {
+				accum(in, b.Reshape(g, in.Shape))
+				break
+			}
+			red := b.Reduce(KindReduceSum, g, broadcastAxes(in.Shape, n.Shape)...)
+			if !sameShape(red.Shape, in.Shape) {
+				red = b.Reshape(red, in.Shape)
+			}
+			accum(in, red)
+		case KindReshape:
+			accum(n.Ins[0], b.Reshape(g, n.Ins[0].Shape))
+		case KindTranspose:
+			accum(n.Ins[0], b.Transpose(g, invertPerm(n.Axes)...))
+		case KindConvert:
+			accum(n.Ins[0], b.Convert(g, n.Ins[0].DType))
+		case KindGather:
+			table, idx := n.Ins[0], n.Ins[1]
+			accum(table, b.Scatter(zerosLike(table), idx, g))
+		case KindScatter:
+			// Scatter only appears in backward passes we emit ourselves.
+		case KindConcat:
+			off := 0
+			for _, in := range n.Ins {
+				_ = off
+				accum(in, b.Slice(g, in.Shape))
+				off += in.Shape[len(in.Shape)-1]
+			}
+		case KindSlice:
+			// Shape-level stand-in for pad-with-zeros.
+			accum(n.Ins[0], b.Broadcast(g, n.Ins[0].Shape))
+		case KindCumSum:
+			accum(n.Ins[0], b.CumSum(g, n.Axes[0]))
+		case KindAllReduce:
+			accum(n.Ins[0], b.AllReduce(g))
+		case KindAllGather, KindReduceScatter:
+			accum(n.Ins[0], g)
+		}
+	}
+
+	// Expose weight gradients as outputs (they feed the optimizer update).
+	for _, n := range fwd {
+		if n.Param {
+			if g := grads[n]; g != nil {
+				b.Output(g)
+			}
+		}
+	}
+}
+
+func swapLastTwo(rank int) []int {
+	perm := make([]int, rank)
+	for i := range perm {
+		perm[i] = i
+	}
+	if rank >= 2 {
+		perm[rank-1], perm[rank-2] = perm[rank-2], perm[rank-1]
+	}
+	return perm
+}
+
+func invertPerm(perm []int) []int {
+	inv := make([]int, len(perm))
+	for i, p := range perm {
+		inv[p] = i
+	}
+	return inv
+}
+
+// broadcastAxes returns the output axes introduced or expanded when
+// broadcasting in to out. Size-1 input dims are dropped first and the
+// remaining input dims are matched against out as a left-to-right
+// subsequence; every unmatched output axis is a reduction axis for the
+// cotangent (a trailing Reshape restores dropped 1-dims).
+func broadcastAxes(in, out []int) []int {
+	var kept []int
+	for _, d := range in {
+		if d != 1 {
+			kept = append(kept, d)
+		}
+	}
+	var axes []int
+	j := 0
+	for i := 0; i < len(out); i++ {
+		if j < len(kept) && kept[j] == out[i] && len(out)-i > len(kept)-j-1 {
+			j++
+			continue
+		}
+		axes = append(axes, i)
+	}
+	return axes
+}

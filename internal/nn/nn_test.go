@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"predtop/internal/ag"
+	"predtop/internal/tensor"
+)
+
+func TestLinearShapesAndParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, "l", 5, 3)
+	ctx := ag.NewContext()
+	y := l.Forward(ctx, ctx.Const(tensor.Randn(rng, 7, 5, 1)))
+	if y.V.R != 7 || y.V.C != 3 {
+		t.Fatalf("linear output %dx%d", y.V.R, y.V.C)
+	}
+	if got := ParamCount(l); got != 5*3+3 {
+		t.Fatalf("param count %d", got)
+	}
+}
+
+func TestLinearGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLinear(rng, "l", 4, 2)
+	x := tensor.Randn(rng, 3, 4, 1)
+	y := tensor.Randn(rng, 3, 2, 1)
+	build := func(ctx *ag.Context) *ag.Node {
+		return ctx.MSELoss(l.Forward(ctx, ctx.Const(x)), y)
+	}
+	loss := func() float64 { return build(ag.NewContext()).V.At(0, 0) }
+	grads := func() map[*ag.Param]*tensor.Tensor { return ag.CollectGrads(l.Params(), build) }
+	if err := ag.GradCheck(l.Params(), loss, grads, 1e-6, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerNormNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ln := NewLayerNorm("ln", 8)
+	ctx := ag.NewContext()
+	x := tensor.Randn(rng, 4, 8, 3)
+	y := ln.Forward(ctx, ctx.Const(x))
+	for i := 0; i < y.V.R; i++ {
+		mean, varr := 0.0, 0.0
+		for _, v := range y.V.Row(i) {
+			mean += v
+		}
+		mean /= 8
+		for _, v := range y.V.Row(i) {
+			varr += (v - mean) * (v - mean)
+		}
+		varr /= 8
+		if math.Abs(mean) > 1e-9 || math.Abs(varr-1) > 1e-3 {
+			t.Fatalf("row %d mean=%g var=%g", i, mean, varr)
+		}
+	}
+}
+
+func TestMHAShapesAndMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewMultiHeadAttention(rng, "mha", 16, 4)
+	ctx := ag.NewContext()
+	x := tensor.Randn(rng, 6, 16, 1)
+	y := m.Forward(ctx, ctx.Const(x), nil)
+	if y.V.R != 6 || y.V.C != 16 {
+		t.Fatalf("MHA output %dx%d", y.V.R, y.V.C)
+	}
+	// With a mask allowing only self-attention every output row i must be
+	// independent of other rows: perturbing row j≠i must not change row i.
+	inf := math.Inf(-1)
+	mask := tensor.Full(6, 6, inf)
+	for i := 0; i < 6; i++ {
+		mask.Set(i, i, 0)
+	}
+	ctx2 := ag.NewContext()
+	base := m.Forward(ctx2, ctx2.Const(x), mask).V.Clone()
+	x2 := x.Clone()
+	for j := 0; j < 16; j++ {
+		x2.Set(3, j, x2.At(3, j)+5)
+	}
+	ctx3 := ag.NewContext()
+	pert := m.Forward(ctx3, ctx3.Const(x2), mask).V
+	for i := 0; i < 6; i++ {
+		if i == 3 {
+			continue
+		}
+		for j := 0; j < 16; j++ {
+			if math.Abs(base.At(i, j)-pert.At(i, j)) > 1e-9 {
+				t.Fatalf("row %d leaked attention to masked row 3", i)
+			}
+		}
+	}
+}
+
+func TestMHAGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMultiHeadAttention(rng, "mha", 8, 2)
+	x := tensor.Randn(rng, 4, 8, 1)
+	y := tensor.Randn(rng, 4, 8, 1)
+	inf := math.Inf(-1)
+	mask := tensor.New(4, 4)
+	mask.Set(0, 2, inf)
+	mask.Set(2, 0, inf)
+	build := func(ctx *ag.Context) *ag.Node {
+		return ctx.MSELoss(m.Forward(ctx, ctx.Const(x), mask), y)
+	}
+	loss := func() float64 { return build(ag.NewContext()).V.At(0, 0) }
+	grads := func() map[*ag.Param]*tensor.Tensor { return ag.CollectGrads(m.Params(), build) }
+	if err := ag.GradCheck(m.Params(), loss, grads, 1e-6, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMLPHeadAndFFN(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := NewFeedForward(rng, "ffn", 8, 16)
+	h := NewMLPHead(rng, "head", 8, 4, 4)
+	ctx := ag.NewContext()
+	x := tensor.Randn(rng, 5, 8, 1)
+	y := f.Forward(ctx, ctx.Const(x))
+	if y.V.R != 5 || y.V.C != 8 {
+		t.Fatalf("FFN output %dx%d", y.V.R, y.V.C)
+	}
+	p := h.Forward(ctx, ctx.Const(x))
+	if p.V.R != 5 || p.V.C != 1 {
+		t.Fatalf("head output %dx%d", p.V.R, p.V.C)
+	}
+}
+
+func TestSinusoidalPE(t *testing.T) {
+	pe := SinusoidalPE(10, 8)
+	if pe.R != 10 || pe.C != 8 {
+		t.Fatalf("PE shape %dx%d", pe.R, pe.C)
+	}
+	// Position 0 is sin(0)=0 / cos(0)=1 alternating.
+	for j := 0; j < 8; j += 2 {
+		if pe.At(0, j) != 0 || pe.At(0, j+1) != 1 {
+			t.Fatalf("PE row 0 wrong at col %d", j)
+		}
+	}
+	// Different positions must differ.
+	if tensor.AllClose(tensor.FromSlice(1, 8, pe.Row(1)), tensor.FromSlice(1, 8, pe.Row(5)), 1e-9) {
+		t.Fatal("PE rows 1 and 5 identical")
+	}
+	for _, v := range pe.Data {
+		if v < -1-1e-12 || v > 1+1e-12 {
+			t.Fatalf("PE value out of range: %v", v)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package parallel provides small helpers for data-parallel loops.
+//
+// All computationally heavy loops in this repository are expressed through
+// this package so they scale with GOMAXPROCS and degrade gracefully to a
+// plain serial loop on a single-core machine.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n), distributing iterations over up to
+// GOMAXPROCS goroutines. It returns once all iterations completed. For small
+// n or a single-core machine it runs serially with no goroutine overhead.
+func For(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForBlocked runs fn(lo, hi) over contiguous index blocks covering [0, n).
+// Useful when per-iteration work is tiny and cache locality matters.
+func ForBlocked(n, block int, fn func(lo, hi int)) {
+	if block <= 0 {
+		block = 1
+	}
+	blocks := (n + block - 1) / block
+	For(blocks, func(b int) {
+		lo := b * block
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// Map applies fn to every index and collects the results in order.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyFigure6Example(t *testing.T) {
+	// Fig 6: four stages, three microbatches, stage 2 the bottleneck.
+	lat := []float64{1, 3, 1, 1}
+	got := Latency(lat, 3)
+	want := 6.0 + 2*3 // Σ + (B−1)·max
+	if got != want {
+		t.Fatalf("Eqn 4: %v want %v", got, want)
+	}
+}
+
+func TestLatencyEdgeCases(t *testing.T) {
+	if Latency(nil, 3) != 0 || Latency([]float64{1}, 0) != 0 {
+		t.Fatal("empty inputs should be zero")
+	}
+	// One stage: B sequential executions.
+	if Latency([]float64{2}, 5) != 10 {
+		t.Fatal("single-stage pipeline is serial")
+	}
+	// One microbatch: plain sum.
+	if Latency([]float64{1, 2, 3}, 1) != 6 {
+		t.Fatal("B=1 is the stage sum")
+	}
+}
+
+func TestBottleneck(t *testing.T) {
+	idx, max := Bottleneck([]float64{1, 3, 2})
+	if idx != 1 || max != 3 {
+		t.Fatalf("bottleneck (%d, %v)", idx, max)
+	}
+}
+
+// TestSimulatorMatchesEqn4 is the paper's white-box model invariant: the
+// closed form equals the event-driven schedule exactly.
+func TestSimulatorMatchesEqn4(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := 1 + rng.Intn(8)
+		b := 1 + rng.Intn(12)
+		lat := make([]float64, s)
+		for i := range lat {
+			lat[i] = 0.1 + rng.Float64()*5
+		}
+		makespan, _ := Simulate(lat, b)
+		return math.Abs(makespan-Latency(lat, b)) < 1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimulateRespectsDependencies(t *testing.T) {
+	lat := []float64{1, 3, 1, 1}
+	_, tasks := Simulate(lat, 3)
+	byKey := map[[2]int]Task{}
+	for _, task := range tasks {
+		byKey[[2]int{task.Stage, task.Microbatch}] = task
+	}
+	for _, task := range tasks {
+		if task.Stage > 0 {
+			prev := byKey[[2]int{task.Stage - 1, task.Microbatch}]
+			if task.Start < prev.End-1e-12 {
+				t.Fatalf("stage %d mb %d started before upstream finished", task.Stage, task.Microbatch)
+			}
+		}
+		if task.Microbatch > 0 {
+			prev := byKey[[2]int{task.Stage, task.Microbatch - 1}]
+			if task.Start < prev.End-1e-12 {
+				t.Fatalf("stage %d overlapped its own microbatches", task.Stage)
+			}
+		}
+		if math.Abs(task.End-task.Start-lat[task.Stage]) > 1e-12 {
+			t.Fatalf("task duration wrong: %+v", task)
+		}
+	}
+	if len(tasks) != 12 {
+		t.Fatalf("expected 4×3 tasks, got %d", len(tasks))
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	out := RenderTimeline([]float64{1, 3, 1, 1}, 3, 60)
+	if !strings.Contains(out, "stage 1") || !strings.Contains(out, "stage 4") {
+		t.Fatalf("timeline missing stages:\n%s", out)
+	}
+	if !strings.Contains(out, "makespan") {
+		t.Fatal("timeline missing makespan")
+	}
+	// The bottleneck stage (2) should have no idle gaps after warmup —
+	// its row must contain all three microbatch digits.
+	for _, d := range []string{"0", "1", "2"} {
+		if !strings.Contains(out, d) {
+			t.Fatalf("timeline missing microbatch %s:\n%s", d, out)
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []float64{1, 3, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(events) != 6 { // 3 stages × 2 microbatches
+		t.Fatalf("trace events: %d", len(events))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" || e["dur"].(float64) <= 0 {
+			t.Fatalf("bad event %v", e)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+)
+
+// Schedule identifies a pipeline execution schedule. The paper's white-box
+// model (Eqn 4) is the steady-state latency of the synchronous GPipe/1F1B
+// family; the variants below extend the white-box model to the other
+// schedules the paper cites (§II-A: GPipe, PipeDream-1F1B, interleaved).
+type Schedule uint8
+
+// Supported schedules.
+const (
+	// ScheduleSync is the paper's model: synchronous pipeline, Eqn 4.
+	ScheduleSync Schedule = iota
+	// ScheduleGPipe adds an explicit flush between forward and backward
+	// phases (forward and backward modeled as separate passes).
+	ScheduleGPipe
+	// ScheduleInterleaved is the interleaved-1F1B virtual-stage schedule:
+	// each device holds V model chunks, shrinking the pipeline bubble by V.
+	ScheduleInterleaved
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleSync:
+		return "1f1b"
+	case ScheduleGPipe:
+		return "gpipe"
+	case ScheduleInterleaved:
+		return "interleaved-1f1b"
+	}
+	return fmt.Sprintf("schedule(%d)", uint8(s))
+}
+
+// GPipeLatency models GPipe with an explicit flush: the forward pass
+// pipeline (Eqn 4 over forward latencies) followed by the backward pass
+// pipeline. fwdFrac is the forward share of each stage's fwd+bwd latency
+// (≈1/3 for standard training).
+func GPipeLatency(stageLat []float64, microbatches int, fwdFrac float64) float64 {
+	if fwdFrac <= 0 || fwdFrac >= 1 {
+		fwdFrac = 1.0 / 3
+	}
+	fwd := make([]float64, len(stageLat))
+	bwd := make([]float64, len(stageLat))
+	for i, t := range stageLat {
+		fwd[i] = t * fwdFrac
+		bwd[i] = t * (1 - fwdFrac)
+	}
+	return Latency(fwd, microbatches) + Latency(bwd, microbatches)
+}
+
+// InterleavedLatency models interleaved 1F1B with V virtual stages per
+// device: the per-chunk latency is tᵢ/V and the bubble term shrinks to
+// (B−1)·max tⱼ/V while the fill cost covers all S·V chunks.
+func InterleavedLatency(stageLat []float64, microbatches, virtualStages int) float64 {
+	if virtualStages <= 1 {
+		return Latency(stageLat, microbatches)
+	}
+	v := float64(virtualStages)
+	sum, max := 0.0, 0.0
+	for _, t := range stageLat {
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	return sum + float64(microbatches-1)*max/v
+}
+
+// LatencyWithSchedule dispatches to the closed form of the given schedule.
+func LatencyWithSchedule(s Schedule, stageLat []float64, microbatches, virtualStages int) float64 {
+	switch s {
+	case ScheduleGPipe:
+		return GPipeLatency(stageLat, microbatches, 0)
+	case ScheduleInterleaved:
+		return InterleavedLatency(stageLat, microbatches, virtualStages)
+	default:
+		return Latency(stageLat, microbatches)
+	}
+}
+
+// CommAwareLatency extends Eqn 4 with inter-stage activation transfers —
+// the term the paper deliberately drops ("in high bandwidth systems, the
+// inter-stage communication time is negligible", §V). commLat[i] is the
+// transfer time from stage i to stage i+1 (len = S−1). Each transfer rides
+// the critical path once per microbatch on the bottleneck side, so the
+// closed form becomes
+//
+//	T = Σ tᵢ + Σ cᵢ + (B−1)·max(tⱼ, cⱼ-adjacent chain contribution)
+//
+// which for the no-overlap model used here reduces to treating each
+// transfer as a zero-compute pipeline stage.
+func CommAwareLatency(stageLat, commLat []float64, microbatches int) float64 {
+	if len(commLat) != len(stageLat)-1 {
+		panic(fmt.Sprintf("pipeline: need %d comm latencies, got %d", len(stageLat)-1, len(commLat)))
+	}
+	merged := make([]float64, 0, 2*len(stageLat)-1)
+	for i, t := range stageLat {
+		merged = append(merged, t)
+		if i < len(commLat) {
+			merged = append(merged, commLat[i])
+		}
+	}
+	return Latency(merged, microbatches)
+}
+
+// BubbleFraction returns the share of device time lost to the pipeline
+// bubble under Eqn 4 — a standard diagnostic for pipeline plans.
+func BubbleFraction(stageLat []float64, microbatches int) float64 {
+	if len(stageLat) == 0 || microbatches <= 0 {
+		return 0
+	}
+	_, max := Bottleneck(stageLat)
+	total := Latency(stageLat, microbatches)
+	if total == 0 {
+		return 0
+	}
+	busy := 0.0
+	for _, t := range stageLat {
+		busy += t * float64(microbatches)
+	}
+	ideal := busy / float64(len(stageLat))
+	_ = max
+	frac := 1 - ideal/total
+	return math.Max(frac, 0)
+}

@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleStrings(t *testing.T) {
+	for _, s := range []Schedule{ScheduleSync, ScheduleGPipe, ScheduleInterleaved} {
+		if s.String() == "" || s.String()[0] == 's' && s.String() != "1f1b" && s.String() != "gpipe" {
+			t.Fatalf("schedule %d name %q", s, s)
+		}
+	}
+}
+
+func TestGPipeSlowerThanSync(t *testing.T) {
+	// The explicit flush makes GPipe at least as slow as the synchronous
+	// 1F1B closed form for any pipeline.
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(1))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := 1 + rng.Intn(6)
+		b := 1 + rng.Intn(10)
+		lat := make([]float64, s)
+		for i := range lat {
+			lat[i] = 0.1 + rng.Float64()*3
+		}
+		return GPipeLatency(lat, b, 1.0/3)+1e-12 >= Latency(lat, b)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGPipeSplitsAddUp(t *testing.T) {
+	// With one microbatch there is no bubble, so GPipe equals the plain sum.
+	lat := []float64{1, 2, 3}
+	if got := GPipeLatency(lat, 1, 1.0/3); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("GPipe B=1: %v", got)
+	}
+}
+
+func TestInterleavedShrinksBubble(t *testing.T) {
+	lat := []float64{1, 3, 1, 1}
+	base := Latency(lat, 8)
+	for v := 2; v <= 8; v *= 2 {
+		inter := InterleavedLatency(lat, 8, v)
+		if inter >= base {
+			t.Fatalf("V=%d did not shrink latency: %v vs %v", v, inter, base)
+		}
+	}
+	// V → ∞ approaches the no-bubble lower bound Σt.
+	if got := InterleavedLatency(lat, 8, 1<<20); math.Abs(got-6) > 1e-3 {
+		t.Fatalf("V→∞: %v", got)
+	}
+	// V = 1 degenerates to Eqn 4.
+	if InterleavedLatency(lat, 8, 1) != base {
+		t.Fatal("V=1 should equal Eqn 4")
+	}
+}
+
+func TestLatencyWithScheduleDispatch(t *testing.T) {
+	lat := []float64{1, 2}
+	if LatencyWithSchedule(ScheduleSync, lat, 4, 0) != Latency(lat, 4) {
+		t.Fatal("sync dispatch")
+	}
+	if LatencyWithSchedule(ScheduleGPipe, lat, 4, 0) != GPipeLatency(lat, 4, 0) {
+		t.Fatal("gpipe dispatch")
+	}
+	if LatencyWithSchedule(ScheduleInterleaved, lat, 4, 2) != InterleavedLatency(lat, 4, 2) {
+		t.Fatal("interleaved dispatch")
+	}
+}
+
+func TestCommAwareLatency(t *testing.T) {
+	lat := []float64{1, 3, 1}
+	// Zero communication reduces exactly to Eqn 4 (inserting zero-latency
+	// stages changes neither the sum nor the bottleneck).
+	if got := CommAwareLatency(lat, []float64{0, 0}, 5); got != Latency(lat, 5) {
+		t.Fatalf("zero comm: %v vs %v", got, Latency(lat, 5))
+	}
+	// Non-zero communication strictly increases latency.
+	withComm := CommAwareLatency(lat, []float64{0.5, 0.5}, 5)
+	if withComm <= Latency(lat, 5) {
+		t.Fatal("communication should add latency")
+	}
+	// A transfer slower than every stage becomes the bottleneck.
+	slow := CommAwareLatency(lat, []float64{10, 0}, 5)
+	if slow < 10*5 {
+		t.Fatalf("slow link should dominate: %v", slow)
+	}
+}
+
+func TestCommAwareLatencyPanicsOnBadLengths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CommAwareLatency([]float64{1, 2}, []float64{0.1, 0.2}, 3)
+}
+
+func TestBubbleFraction(t *testing.T) {
+	// Perfectly balanced, many microbatches → bubble → 0.
+	lat := []float64{1, 1, 1, 1}
+	small := BubbleFraction(lat, 1000)
+	if small > 0.01 {
+		t.Fatalf("balanced deep pipeline bubble: %v", small)
+	}
+	// Few microbatches → large bubble.
+	big := BubbleFraction(lat, 1)
+	if big < 0.5 {
+		t.Fatalf("B=1 bubble: %v", big)
+	}
+	if BubbleFraction(nil, 4) != 0 {
+		t.Fatal("empty pipeline")
+	}
+}

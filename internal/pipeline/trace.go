@@ -1,0 +1,39 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// traceEvent is one Chrome-tracing "complete" event (the chrome://tracing /
+// Perfetto JSON array format).
+type traceEvent struct {
+	Name     string  `json:"name"`
+	Phase    string  `json:"ph"`
+	TimestUS float64 `json:"ts"`
+	DurUS    float64 `json:"dur"`
+	PID      int     `json:"pid"`
+	TID      int     `json:"tid"`
+}
+
+// WriteChromeTrace renders a simulated pipeline schedule as a Chrome-tracing
+// JSON file (loadable in chrome://tracing or Perfetto): one track per stage,
+// one slice per (stage, microbatch) task. Latencies are interpreted as
+// seconds and emitted in microseconds.
+func WriteChromeTrace(w io.Writer, stageLat []float64, microbatches int) error {
+	_, tasks := Simulate(stageLat, microbatches)
+	events := make([]traceEvent, 0, len(tasks))
+	for _, t := range tasks {
+		events = append(events, traceEvent{
+			Name:     fmt.Sprintf("mb%d", t.Microbatch),
+			Phase:    "X",
+			TimestUS: t.Start * 1e6,
+			DurUS:    (t.End - t.Start) * 1e6,
+			PID:      1,
+			TID:      t.Stage + 1,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

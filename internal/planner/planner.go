@@ -1,0 +1,197 @@
+// Package planner implements the inter-operator (pipeline) parallelization
+// planner the paper integrates PredTOP into (§VI, §VIII-B): an Alpa-style
+// dynamic program that slices the model into contiguous stages, assigns each
+// stage a submesh, and minimizes the Eqn-4 iteration latency — driven either
+// by profiled stage latencies (vanilla Alpa, full or partial profiling) or
+// by a trained latency predictor (PredTOP).
+package planner
+
+import (
+	"math"
+	"sort"
+
+	"predtop/internal/cluster"
+	"predtop/internal/intraop"
+	"predtop/internal/models"
+	"predtop/internal/pipeline"
+	"predtop/internal/stage"
+)
+
+// choicem records one DP decision: the stage end boundary and mesh index.
+type choicem struct{ hi, mesh int }
+
+// LatencyFn estimates the optimal intra-stage latency of a stage on a mesh.
+// ok reports whether the pair is usable (fits memory / was profiled).
+type LatencyFn func(sp stage.Spec, mesh cluster.Mesh) (lat float64, ok bool)
+
+// Options configures the inter-stage search.
+type Options struct {
+	// Microbatches is B in Eqn 4 (default 16).
+	Microbatches int
+	// MaxStageLen caps stage length in segments (0 = unbounded).
+	MaxStageLen int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Microbatches == 0 {
+		o.Microbatches = 16
+	}
+	return o
+}
+
+// Plan is a complete parallelization plan: a stage partition and the submesh
+// executing each stage.
+type Plan struct {
+	Stages []stage.Spec
+	Meshes []cluster.Mesh
+	// Est is the Eqn-4 iteration latency under the estimates that drove the
+	// search.
+	Est float64
+}
+
+// NumStages returns the pipeline depth.
+func (p Plan) NumStages() int { return len(p.Stages) }
+
+// Optimize searches for the plan minimizing Eqn 4 over all contiguous stage
+// partitions and submesh assignments that exactly tile the cluster's
+// devices. It enumerates the bottleneck latency t_max over all candidate
+// stage latencies and, for each, runs a (segment, devices-remaining) DP
+// minimizing Σtᵢ subject to tᵢ ≤ t_max — Alpa's inter-op formulation.
+func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (Plan, bool) {
+	opt = opt.withDefaults()
+	meshes := cluster.Meshes(p)
+	totalDev := p.Nodes * p.GPUsPerNode
+
+	// Memoize estimates for every feasible (stage, mesh) pair.
+	type pairKey struct {
+		lo, hi, mesh int
+	}
+	est := make(map[pairKey]float64)
+	var candidates []float64
+	maxLen := opt.MaxStageLen
+	if maxLen <= 0 || maxLen > numSegments {
+		maxLen = numSegments
+	}
+	for _, sp := range stage.AllSpecs(numSegments, maxLen) {
+		for mi, mesh := range meshes {
+			if t, ok := lat(sp, mesh); ok && t > 0 && !math.IsInf(t, 1) {
+				est[pairKey{sp.Lo, sp.Hi, mi}] = t
+				candidates = append(candidates, t)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return Plan{}, false
+	}
+	sort.Float64s(candidates)
+
+	bestT := math.Inf(1)
+	var bestPlan Plan
+	B := float64(opt.Microbatches - 1)
+
+	// DP state: f[k][d] = min Σt to place segments [k, numSegments) using
+	// exactly d devices; choice[k][d] records (hi, meshIdx).
+	f := make([][]float64, numSegments+1)
+	choice := make([][]choicem, numSegments+1)
+	for k := range f {
+		f[k] = make([]float64, totalDev+1)
+		choice[k] = make([]choicem, totalDev+1)
+	}
+
+	for _, tmax := range dedup(candidates) {
+		for k := numSegments; k >= 0; k-- {
+			for d := 0; d <= totalDev; d++ {
+				if k == numSegments {
+					if d == 0 {
+						f[k][d] = 0
+					} else {
+						f[k][d] = math.Inf(1)
+					}
+					continue
+				}
+				f[k][d] = math.Inf(1)
+				for hi := k + 1; hi <= numSegments && hi-k <= maxLen; hi++ {
+					for mi, mesh := range meshes {
+						c := mesh.NumDevices()
+						if c > d {
+							continue
+						}
+						t, ok := est[pairKey{k, hi, mi}]
+						if !ok || t > tmax {
+							continue
+						}
+						if rest := f[hi][d-c]; t+rest < f[k][d] {
+							f[k][d] = t + rest
+							choice[k][d] = choicem{hi: hi, mesh: mi}
+						}
+					}
+				}
+			}
+		}
+		if sum := f[0][totalDev]; !math.IsInf(sum, 1) {
+			total := sum + B*tmax
+			if total < bestT {
+				bestT = total
+				bestPlan = reconstruct(choice, meshes, numSegments, totalDev)
+				bestPlan.Est = total
+			}
+		}
+	}
+	if math.IsInf(bestT, 1) {
+		return Plan{}, false
+	}
+	return bestPlan, true
+}
+
+func dedup(sorted []float64) []float64 {
+	out := sorted[:0:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func reconstruct(choice [][]choicem, meshes []cluster.Mesh, numSegments, totalDev int) Plan {
+	var plan Plan
+	k, d := 0, totalDev
+	for k < numSegments {
+		c := choice[k][d]
+		plan.Stages = append(plan.Stages, stage.Spec{Lo: k, Hi: c.hi})
+		plan.Meshes = append(plan.Meshes, meshes[c.mesh])
+		d -= meshes[c.mesh].NumDevices()
+		k = c.hi
+	}
+	return plan
+}
+
+// TrueStageLatency returns the simulator-exact optimal latency of a training
+// stage on a mesh: the best over the mesh's Table-III configurations. ok is
+// false when no configuration fits memory.
+func TrueStageLatency(m *models.Model, sp stage.Spec, mesh cluster.Mesh) (float64, bool) {
+	g := m.StageGraph(sp.Lo, sp.Hi, true)
+	best := math.Inf(1)
+	for _, conf := range cluster.ConfigsFor(mesh) {
+		res := intraop.Optimize(g, cluster.Scenario{Mesh: mesh, Config: conf})
+		if res.Feasible && res.Latency < best {
+			best = res.Latency
+		}
+	}
+	return best, !math.IsInf(best, 1)
+}
+
+// EvaluatePlan returns the ground-truth Eqn-4 iteration latency of a plan
+// (each stage at its true optimal intra-op latency). ok is false when any
+// stage is infeasible on its assigned mesh.
+func EvaluatePlan(m *models.Model, plan Plan, microbatches int) (float64, bool) {
+	lats := make([]float64, len(plan.Stages))
+	for i, sp := range plan.Stages {
+		t, ok := TrueStageLatency(m, sp, plan.Meshes[i])
+		if !ok {
+			return 0, false
+		}
+		lats[i] = t
+	}
+	return pipeline.Latency(lats, microbatches), true
+}

@@ -1,0 +1,327 @@
+package planner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"predtop/internal/cluster"
+	"predtop/internal/graphnn"
+	"predtop/internal/ir"
+	"predtop/internal/models"
+	"predtop/internal/pipeline"
+	"predtop/internal/predictor"
+	"predtop/internal/sim"
+	"predtop/internal/stage"
+)
+
+// tinyModel is a scaled-down GPT-like config that keeps planner tests fast.
+func tinyModel() *models.Model {
+	return models.Build(models.Config{
+		Name: "tiny", SeqLen: 256, Hidden: 512, Layers: 6, Heads: 8,
+		Vocab: 8000, Act: ir.BF16,
+	})
+}
+
+// syntheticLatency is a deterministic fake latency source for DP testing.
+func syntheticLatency(sp stage.Spec, mesh cluster.Mesh) (float64, bool) {
+	base := float64(sp.Len()) * 10 / math.Sqrt(float64(mesh.NumDevices()))
+	base += float64(sp.Lo) * 0.37 // break symmetry
+	return base, true
+}
+
+// bruteForce enumerates every partition/assignment and returns the best
+// Eqn-4 latency.
+func bruteForce(numSegments int, p cluster.Platform, lat LatencyFn, B int) float64 {
+	meshes := cluster.Meshes(p)
+	total := p.Nodes * p.GPUsPerNode
+	best := math.Inf(1)
+	var rec func(lo, devLeft int, lats []float64)
+	rec = func(lo, devLeft int, lats []float64) {
+		if lo == numSegments {
+			if devLeft == 0 {
+				if t := pipeline.Latency(lats, B); t < best {
+					best = t
+				}
+			}
+			return
+		}
+		for hi := lo + 1; hi <= numSegments; hi++ {
+			for _, m := range meshes {
+				if m.NumDevices() > devLeft {
+					continue
+				}
+				if t, ok := lat(stage.Spec{Lo: lo, Hi: hi}, m); ok {
+					rec(hi, devLeft-m.NumDevices(), append(lats, t))
+				}
+			}
+		}
+	}
+	rec(0, total, nil)
+	return best
+}
+
+func TestOptimizeMatchesBruteForce(t *testing.T) {
+	for _, p := range []cluster.Platform{cluster.Platform1(), cluster.Platform2()} {
+		for _, L := range []int{3, 5, 6} {
+			plan, ok := Optimize(L, p, syntheticLatency, Options{Microbatches: 8})
+			if !ok {
+				t.Fatalf("%s L=%d: no plan", p.Name, L)
+			}
+			want := bruteForce(L, p, syntheticLatency, 8)
+			if math.Abs(plan.Est-want)/want > 1e-9 {
+				t.Fatalf("%s L=%d: DP %v, brute force %v", p.Name, L, plan.Est, want)
+			}
+		}
+	}
+}
+
+func TestPlanStructureValid(t *testing.T) {
+	p := cluster.Platform2()
+	plan, ok := Optimize(8, p, syntheticLatency, Options{Microbatches: 4})
+	if !ok {
+		t.Fatal("no plan")
+	}
+	// Stages must partition [0, 8) contiguously.
+	at := 0
+	dev := 0
+	for i, sp := range plan.Stages {
+		if sp.Lo != at || sp.Hi <= sp.Lo {
+			t.Fatalf("stage %d not contiguous: %+v", i, plan.Stages)
+		}
+		at = sp.Hi
+		dev += plan.Meshes[i].NumDevices()
+	}
+	if at != 8 {
+		t.Fatalf("stages do not cover the model: %+v", plan.Stages)
+	}
+	if dev != p.Nodes*p.GPUsPerNode {
+		t.Fatalf("meshes use %d devices, cluster has %d", dev, p.Nodes*p.GPUsPerNode)
+	}
+}
+
+func TestOptimizeRespectsMaxStageLen(t *testing.T) {
+	plan, ok := Optimize(8, cluster.Platform2(), syntheticLatency, Options{Microbatches: 4, MaxStageLen: 3})
+	if !ok {
+		t.Fatal("no plan")
+	}
+	for _, sp := range plan.Stages {
+		if sp.Len() > 3 {
+			t.Fatalf("stage %v exceeds max length", sp)
+		}
+	}
+}
+
+func TestOptimizeInfeasibleWhenNoLatencies(t *testing.T) {
+	none := func(stage.Spec, cluster.Mesh) (float64, bool) { return 0, false }
+	if _, ok := Optimize(4, cluster.Platform1(), none, Options{}); ok {
+		t.Fatal("plan found with no usable latencies")
+	}
+}
+
+func TestEndToEndPlanWithTrueLatency(t *testing.T) {
+	mdl := tinyModel()
+	p := cluster.Platform1()
+	plan, ok := Optimize(mdl.NumSegments(), p, TrueLatency(mdl), Options{Microbatches: 8})
+	if !ok {
+		t.Fatal("no plan for tiny model on platform 1")
+	}
+	lat, ok := EvaluatePlan(mdl, plan, 8)
+	if !ok || lat <= 0 {
+		t.Fatalf("plan evaluation failed: %v %v", lat, ok)
+	}
+	// The DP plan must beat (or match) the trivial whole-model-on-mesh-2 plan.
+	meshes := cluster.Meshes(p)
+	trivial := Plan{
+		Stages: []stage.Spec{{Lo: 0, Hi: mdl.NumSegments()}},
+		Meshes: []cluster.Mesh{meshes[1]},
+	}
+	trivLat, trivOK := EvaluatePlan(mdl, trivial, 8)
+	if trivOK && lat > trivLat*1.0001 {
+		t.Fatalf("optimized plan (%v) worse than trivial plan (%v)", lat, trivLat)
+	}
+}
+
+func TestFullProfilingMetersCost(t *testing.T) {
+	mdl := tinyModel()
+	meter := &Meter{}
+	latFn := FullProfiling(mdl, sim.DefaultProfiler(), meter)
+	mesh := cluster.Meshes(cluster.Platform1())[0]
+	t1, ok := latFn(stage.Spec{Lo: 1, Hi: 3}, mesh)
+	if !ok || t1 <= 0 {
+		t.Fatalf("profiling failed: %v %v", t1, ok)
+	}
+	if meter.ProfileSeconds <= 0 || meter.StagesProfiled == 0 {
+		t.Fatalf("cost not metered: %+v", meter)
+	}
+	// Memoized: a second query charges nothing more.
+	before := meter.ProfileSeconds
+	latFn(stage.Spec{Lo: 1, Hi: 3}, mesh)
+	if meter.ProfileSeconds != before {
+		t.Fatal("memoized query re-charged profiling cost")
+	}
+}
+
+func TestPartialProfilingSkipsImbalanced(t *testing.T) {
+	mdl := tinyModel() // 8 segments
+	meterFull, meterPart := &Meter{}, &Meter{}
+	full := FullProfiling(mdl, sim.DefaultProfiler(), meterFull)
+	part := PartialProfiling(mdl, sim.DefaultProfiler(), meterPart, 2.5)
+	p2 := cluster.Platform2()
+	count := func(f LatencyFn) int {
+		n := 0
+		for _, sp := range stage.AllSpecs(mdl.NumSegments(), 0) {
+			for _, mesh := range cluster.Meshes(p2) {
+				if _, ok := f(sp, mesh); ok {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	nf, np := count(full), count(part)
+	if np >= nf {
+		t.Fatalf("partial profiling kept %d of %d pairs", np, nf)
+	}
+	if np == 0 {
+		t.Fatal("partial profiling kept nothing")
+	}
+	if meterPart.ProfileSeconds >= meterFull.ProfileSeconds {
+		t.Fatal("partial profiling should cost less")
+	}
+}
+
+func TestPredictorProviderEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	mdl := tinyModel()
+	p := cluster.Platform1()
+	meter := &Meter{}
+	latFn := TrainPredictorProvider(mdl, p, PredictorOptions{
+		Kind:       KindTransformer,
+		SampleFrac: 0.5,
+		Train:      predictor.TrainConfig{Epochs: 25, Patience: 25, BatchSize: 8},
+		Tran:       graphnn.TransformerConfig{Layers: 1, Dim: 16, Heads: 2},
+		Seed:       1,
+	}, sim.DefaultProfiler(), meter)
+	if meter.TrainSeconds <= 0 || meter.ProfileSeconds <= 0 {
+		t.Fatalf("training costs not metered: %+v", meter)
+	}
+	mesh := cluster.Meshes(p)[1]
+	pred, ok := latFn(stage.Spec{Lo: 1, Hi: 3}, mesh)
+	if !ok || pred <= 0 {
+		t.Fatalf("prediction failed: %v %v", pred, ok)
+	}
+	if meter.InferSeconds <= 0 {
+		t.Fatal("inference cost not metered")
+	}
+	// Sanity: prediction within an order of magnitude of truth even with
+	// this deliberately under-trained test configuration.
+	truth, _ := TrueStageLatency(mdl, stage.Spec{Lo: 1, Hi: 3}, mesh)
+	if pred > truth*10 || pred < truth/10 {
+		t.Fatalf("prediction %v wildly off truth %v", pred, truth)
+	}
+	// A full planner run on predictions must yield a valid plan.
+	plan, ok := Optimize(mdl.NumSegments(), p, latFn, Options{Microbatches: 4})
+	if !ok {
+		t.Fatal("no plan from predictions")
+	}
+	if _, ok := EvaluatePlan(mdl, plan, 4); !ok {
+		t.Fatal("predicted plan infeasible under ground truth")
+	}
+}
+
+func TestRandomPlansValidAndVaried(t *testing.T) {
+	mdl := tinyModel()
+	p := cluster.Platform2()
+	rng := rand.New(rand.NewSource(2))
+	lats := map[int]bool{}
+	lo, hi := math.Inf(1), 0.0
+	for i := 0; i < 30; i++ {
+		plan := RandomPlan(mdl, p, rng)
+		at, dev := 0, 0
+		for j, sp := range plan.Stages {
+			if sp.Lo != at {
+				t.Fatalf("random plan not contiguous: %+v", plan.Stages)
+			}
+			at = sp.Hi
+			dev += plan.Meshes[j].NumDevices()
+		}
+		if at != mdl.NumSegments() || dev != 4 {
+			t.Fatalf("random plan invalid: %+v", plan)
+		}
+		lats[len(plan.Stages)] = true
+
+		if t2, ok := RandomPlanLatency(mdl, p, rng, 8); ok {
+			if t2 < lo {
+				lo = t2
+			}
+			if t2 > hi {
+				hi = t2
+			}
+		}
+	}
+	if len(lats) < 2 {
+		t.Fatal("random plans never varied stage count")
+	}
+	if hi/lo < 1.5 {
+		t.Fatalf("Fig-2 precondition failed: latencies in [%v, %v]", lo, hi)
+	}
+}
+
+func TestCompositions(t *testing.T) {
+	got := compositions(4, []int{1, 2, 4})
+	// [4] [2,2] [2,1,1] [1,2,1] [1,1,2] [1,1,1,1]
+	if len(got) != 6 {
+		t.Fatalf("compositions of 4: %v", got)
+	}
+	for _, c := range got {
+		s := 0
+		for _, v := range c {
+			s += v
+		}
+		if s != 4 {
+			t.Fatalf("composition %v does not sum to 4", c)
+		}
+	}
+}
+
+func TestTrueLatencyMemoizes(t *testing.T) {
+	mdl := tinyModel()
+	latFn := TrueLatency(mdl)
+	mesh := cluster.Meshes(cluster.Platform1())[0]
+	a, ok1 := latFn(stage.Spec{Lo: 1, Hi: 3}, mesh)
+	b, ok2 := latFn(stage.Spec{Lo: 1, Hi: 3}, mesh)
+	if !ok1 || !ok2 || a != b {
+		t.Fatalf("memoized oracle inconsistent: %v %v", a, b)
+	}
+}
+
+func TestDedup(t *testing.T) {
+	got := dedup([]float64{1, 1, 2, 3, 3, 3})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("dedup: %v", got)
+	}
+	if len(dedup(nil)) != 0 {
+		t.Fatal("dedup nil")
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	a := []int{5, 2, 9, 1, 2}
+	sortInts(a)
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("not sorted: %v", a)
+		}
+	}
+}
+
+func TestPredictorKindStrings(t *testing.T) {
+	for _, k := range []PredictorKind{KindTransformer, KindGCN, KindGAT} {
+		if k.String() == "PredTOP-?" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+}

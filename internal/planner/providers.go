@@ -1,0 +1,236 @@
+package planner
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"predtop/internal/cluster"
+	"predtop/internal/graphnn"
+	"predtop/internal/models"
+	"predtop/internal/predictor"
+	"predtop/internal/sim"
+	"predtop/internal/stage"
+)
+
+// Meter accumulates the optimization-cost components of Fig 10a, all on the
+// simulated platform clock: profiling (compile + transfer + timed runs),
+// predictor training (per-graph-step GPU cost × steps), and prediction
+// inference. RealSeconds additionally records the wall time this process
+// spent training/inferring, which is not comparable to simulated seconds
+// and is reported separately.
+type Meter struct {
+	ProfileSeconds float64
+	TrainSeconds   float64
+	InferSeconds   float64
+	StagesProfiled int
+	RealSeconds    float64
+}
+
+// Total returns the end-to-end optimization cost in simulated seconds.
+func (m *Meter) Total() float64 { return m.ProfileSeconds + m.TrainSeconds + m.InferSeconds }
+
+// Simulated per-graph costs of running the predictor on the platform's own
+// hardware (the paper trains PredTOP on the same machines it profiles on):
+// one training step and one inference pass over a stage DAG.
+const (
+	simTrainStepSeconds = 0.004
+	simInferSeconds     = 0.002
+)
+
+// FullProfiling returns vanilla Alpa's latency source: every queried
+// (stage, mesh) pair is intra-op-optimized, compiled, and profiled under
+// every Table-III configuration, charging the full cost to meter.
+func FullProfiling(mdl *models.Model, prof sim.Profiler, meter *Meter) LatencyFn {
+	type key struct {
+		lo, hi, mesh int
+	}
+	memo := map[key]float64{}
+	return func(sp stage.Spec, mesh cluster.Mesh) (float64, bool) {
+		k := key{sp.Lo, sp.Hi, mesh.Index}
+		if t, ok := memo[k]; ok {
+			return t, !math.IsInf(t, 1)
+		}
+		g := mdl.StageGraph(sp.Lo, sp.Hi, true)
+		best := math.Inf(1)
+		for _, conf := range cluster.ConfigsFor(mesh) {
+			sc := cluster.Scenario{Mesh: mesh, Config: conf}
+			trueLat, measured, ok := predictor.ProfileStage(mdl, sp, sc, prof)
+			if !ok {
+				continue
+			}
+			meter.ProfileSeconds += prof.ProfileCostSeconds(g, sim.NewExec(sc), trueLat)
+			meter.StagesProfiled++
+			if measured < best {
+				best = measured
+			}
+		}
+		memo[k] = best
+		return best, !math.IsInf(best, 1)
+	}
+}
+
+// PartialProfiling wraps full profiling with vanilla Alpa's pruning
+// heuristic (§VII-D): skip stage–mesh pairs whose model-fraction to
+// device-fraction ratio is imbalanced beyond alpha, profiling only the
+// plausible ones.
+func PartialProfiling(mdl *models.Model, prof sim.Profiler, meter *Meter, alpha float64) LatencyFn {
+	if alpha <= 1 {
+		alpha = 2.5
+	}
+	full := FullProfiling(mdl, prof, meter)
+	numSegments := float64(mdl.NumSegments())
+	return func(sp stage.Spec, mesh cluster.Mesh) (float64, bool) {
+		totalDev := float64(mesh.Platform.Nodes * mesh.Platform.GPUsPerNode)
+		stageFrac := float64(sp.Len()) / numSegments
+		devFrac := float64(mesh.NumDevices()) / totalDev
+		ratio := stageFrac / devFrac
+		if ratio > alpha || ratio < 1/(2*alpha*alpha) {
+			return 0, false
+		}
+		return full(sp, mesh)
+	}
+}
+
+// PredictorKind selects which black-box architecture PredTOP uses.
+type PredictorKind uint8
+
+// Predictor architectures (Fig 10's five versions include these three).
+const (
+	KindTransformer PredictorKind = iota
+	KindGCN
+	KindGAT
+)
+
+// String implements fmt.Stringer.
+func (k PredictorKind) String() string {
+	switch k {
+	case KindTransformer:
+		return "PredTOP-Tran"
+	case KindGCN:
+		return "PredTOP-GCN"
+	case KindGAT:
+		return "PredTOP-GAT"
+	}
+	return "PredTOP-?"
+}
+
+// NewModel instantiates the architecture at the given sizes (zero-value
+// configs use the paper's hyper-parameters).
+func (k PredictorKind) NewModel(rng *rand.Rand, tran graphnn.TransformerConfig, gcn graphnn.GCNConfig, gat graphnn.GATConfig) graphnn.Model {
+	switch k {
+	case KindGCN:
+		return graphnn.NewGCN(rng, gcn)
+	case KindGAT:
+		return graphnn.NewGAT(rng, gat)
+	default:
+		return graphnn.NewDAGTransformer(rng, tran)
+	}
+}
+
+// PredictorOptions configures PredTOP's profiling-sample/training trade-off.
+type PredictorOptions struct {
+	Kind PredictorKind
+	// SampleFrac is the fraction of the stage universe profiled for
+	// training data (§VI: "only selects a subset of stages").
+	SampleFrac float64
+	// MaxStageLen bounds the stage universe (must match planner Options).
+	MaxStageLen int
+	Train       predictor.TrainConfig
+	Tran        graphnn.TransformerConfig
+	GCN         graphnn.GCNConfig
+	GAT         graphnn.GATConfig
+	Seed        int64
+}
+
+// TrainPredictorProvider implements PredTOP's workflow (§VI): profile a
+// sampled subset of stages on every (mesh, configuration), train one
+// predictor per (mesh, configuration), and answer planner queries with
+// predictions (taking the best configuration per mesh, with an analytic
+// memory-feasibility screen). Profiling, training, and inference costs are
+// charged to meter.
+func TrainPredictorProvider(mdl *models.Model, p cluster.Platform, opt PredictorOptions, prof sim.Profiler, meter *Meter) LatencyFn {
+	if opt.SampleFrac == 0 {
+		opt.SampleFrac = 0.15
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	universe := stage.AllSpecs(mdl.NumSegments(), opt.MaxStageLen)
+	count := int(float64(len(universe))*opt.SampleFrac + 0.5)
+	if count < 8 {
+		count = 8
+	}
+	specs := stage.SampleSpecs(rng, mdl.NumSegments(), count, opt.MaxStageLen)
+	enc := predictor.NewEncoder(mdl, true)
+
+	type scKey struct{ mesh, conf int }
+	trained := map[scKey]predictor.Trained{}
+	for _, sc := range cluster.Scenarios(p) {
+		ds := predictor.BuildDataset(enc, specs, sc, prof)
+		// Charge the profiling cost of the training sample.
+		for _, s := range ds.Samples {
+			g := mdl.StageGraph(s.Spec.Lo, s.Spec.Hi, true)
+			meter.ProfileSeconds += prof.ProfileCostSeconds(g, sim.NewExec(sc), s.True)
+			meter.StagesProfiled++
+		}
+		if len(ds.Samples) < 4 {
+			continue
+		}
+		trainIdx, valIdx, _ := stage.Split(rng, len(ds.Samples), 0.85, 0.15)
+		cfg := opt.Train
+		cfg.Seed = opt.Seed + int64(sc.Mesh.Index*10+sc.Config.Index)
+		model := opt.Kind.NewModel(rand.New(rand.NewSource(cfg.Seed)), opt.Tran, opt.GCN, opt.GAT)
+		tr, res := predictor.Train(model, ds, trainIdx, valIdx, cfg)
+		meter.TrainSeconds += float64(res.EpochsRun*len(trainIdx)) * simTrainStepSeconds
+		meter.RealSeconds += res.WallSeconds
+		trained[scKey{sc.Mesh.Index, sc.Config.Index}] = tr
+	}
+
+	type pairKey struct{ lo, hi, mesh int }
+	memo := map[pairKey]float64{}
+	return func(sp stage.Spec, mesh cluster.Mesh) (float64, bool) {
+		k := pairKey{sp.Lo, sp.Hi, mesh.Index}
+		if t, ok := memo[k]; ok {
+			return t, !math.IsInf(t, 1)
+		}
+		start := time.Now()
+		g := mdl.StageGraph(sp.Lo, sp.Hi, true)
+		best := math.Inf(1)
+		for _, conf := range cluster.ConfigsFor(mesh) {
+			tr, ok := trained[scKey{mesh.Index, conf.Index}]
+			if !ok {
+				continue
+			}
+			sc := cluster.Scenario{Mesh: mesh, Config: conf}
+			if !sim.NewExec(sc).FitsMemory(g) {
+				continue
+			}
+			if pred := tr.PredictEncoded(enc.Encode(sp)); pred < best {
+				best = pred
+			}
+			meter.InferSeconds += simInferSeconds
+		}
+		meter.RealSeconds += time.Since(start).Seconds()
+		memo[k] = best
+		return best, !math.IsInf(best, 1)
+	}
+}
+
+// TrueLatency returns the oracle latency source (simulator-exact optimal
+// stage latencies, no noise, no cost) — useful for tests and upper-bound
+// comparisons.
+func TrueLatency(mdl *models.Model) LatencyFn {
+	type key struct{ lo, hi, mesh int }
+	memo := map[key]float64{}
+	return func(sp stage.Spec, mesh cluster.Mesh) (float64, bool) {
+		k := key{sp.Lo, sp.Hi, mesh.Index}
+		if t, ok := memo[k]; ok {
+			return t, !math.IsInf(t, 1)
+		}
+		t, ok := TrueStageLatency(mdl, sp, mesh)
+		if !ok {
+			t = math.Inf(1)
+		}
+		memo[k] = t
+		return t, ok
+	}
+}

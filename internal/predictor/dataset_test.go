@@ -1,0 +1,82 @@
+package predictor
+
+import (
+	"testing"
+
+	"predtop/internal/cluster"
+	"predtop/internal/models"
+	"predtop/internal/sim"
+	"predtop/internal/stage"
+)
+
+func TestProfileStageDeterministic(t *testing.T) {
+	m := models.Build(models.GPT3())
+	sc := cluster.Scenarios(cluster.Platform1())[1]
+	prof := sim.DefaultProfiler()
+	sp := stage.Spec{Lo: 2, Hi: 4}
+	t1, m1, ok1 := ProfileStage(m, sp, sc, prof)
+	t2, m2, ok2 := ProfileStage(m, sp, sc, prof)
+	if !ok1 || !ok2 || t1 != t2 || m1 != m2 {
+		t.Fatalf("profiling not deterministic: (%v,%v) vs (%v,%v)", t1, m1, t2, m2)
+	}
+}
+
+func TestLabelsDifferAcrossScenarios(t *testing.T) {
+	m := models.Build(models.GPT3())
+	prof := sim.DefaultProfiler()
+	sp := stage.Spec{Lo: 2, Hi: 4}
+	seen := map[float64]bool{}
+	for _, sc := range cluster.Scenarios(cluster.Platform2()) {
+		lat, _, ok := ProfileStage(m, sp, sc, prof)
+		if !ok {
+			continue
+		}
+		if seen[lat] {
+			t.Fatalf("identical latency %v under two scenarios", lat)
+		}
+		seen[lat] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("only %d distinct scenario latencies", len(seen))
+	}
+}
+
+func TestSingleGPUSlowerThanParallel(t *testing.T) {
+	// For a hefty stage, the optimal latency with 4 devices available must
+	// not exceed the single-GPU latency.
+	m := models.Build(models.GPT3())
+	prof := sim.Profiler{NoiseFrac: 0, Warmup: 1, Trials: 1}
+	sp := stage.Spec{Lo: 1, Hi: 9}
+	p2 := cluster.Platform2()
+	single, _, ok1 := ProfileStage(m, sp, cluster.Scenario{Mesh: cluster.Meshes(p2)[0], Config: cluster.ConfigsFor(cluster.Meshes(p2)[0])[0]}, prof)
+	mp2 := cluster.Scenario{Mesh: cluster.Meshes(p2)[1], Config: cluster.ConfigsFor(cluster.Meshes(p2)[1])[1]}
+	twoWay, _, ok2 := ProfileStage(m, sp, mp2, prof)
+	if !ok1 || !ok2 {
+		t.Fatal("stages should be feasible")
+	}
+	if twoWay >= single {
+		t.Fatalf("2-way MP (%v) should beat single GPU (%v) for an 8-layer stage", twoWay, single)
+	}
+}
+
+func TestEncoderPruneFlag(t *testing.T) {
+	m := models.Build(models.GPT3())
+	pruned := NewEncoder(m, true).Encode(stage.Spec{Lo: 2, Hi: 3})
+	raw := NewEncoder(m, false).Encode(stage.Spec{Lo: 2, Hi: 3})
+	if pruned.N() >= raw.N() {
+		t.Fatalf("pruned %d !< raw %d", pruned.N(), raw.N())
+	}
+}
+
+func TestCollectStagesRespectsMaxLen(t *testing.T) {
+	m := models.Build(models.MoE())
+	specs := CollectStages(m, nil, 0, 2)
+	for _, sp := range specs {
+		if sp.Len() > 2 {
+			t.Fatalf("spec %v exceeds max length", sp)
+		}
+	}
+	if len(specs) != 34+33 {
+		t.Fatalf("universe %d", len(specs))
+	}
+}

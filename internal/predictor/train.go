@@ -1,0 +1,207 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"predtop/internal/ag"
+	"predtop/internal/graphnn"
+	"predtop/internal/optim"
+	"predtop/internal/stage"
+	"predtop/internal/tensor"
+)
+
+// Loss selects the training objective. The paper evaluated both and found
+// MAE to always outperform MSE (§IV-B7).
+type Loss uint8
+
+// Training losses.
+const (
+	MAE Loss = iota
+	MSE
+)
+
+// TrainConfig carries the training hyper-parameters of §IV-B6/B8. The zero
+// value is replaced by the paper's settings.
+type TrainConfig struct {
+	Epochs    int     // cosine-decay horizon (paper: 500)
+	BatchSize int     // paper: 32
+	BaseLR    float64 // paper: 1e-3 decaying to 0
+	Patience  int     // early-stopping patience in epochs (paper: 200)
+	Loss      Loss    // paper: MAE
+	Seed      int64
+	ClipNorm  float64 // gradient clipping (0 = paper default 5)
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 500
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.BaseLR == 0 {
+		c.BaseLR = 1e-3
+	}
+	if c.Patience == 0 {
+		c.Patience = 200
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 5
+	}
+	return c
+}
+
+// TrainResult reports a completed training run.
+type TrainResult struct {
+	EpochsRun   int
+	BestValLoss float64
+	Scale       float64 // label normalization divisor
+	WallSeconds float64
+}
+
+// Trained couples a fitted model with its label scale for inference.
+type Trained struct {
+	Model graphnn.Model
+	Scale float64
+}
+
+// Train fits model on ds.Samples[trainIdx], early-stopping on valIdx, and
+// restores the best-validation weights (§IV-B8).
+func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainConfig) (Trained, TrainResult) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Normalize labels so the output head operates near unit scale.
+	scale := 0.0
+	for _, i := range trainIdx {
+		scale += ds.Samples[i].Measured
+	}
+	scale /= float64(len(trainIdx))
+	if scale <= 0 {
+		scale = 1
+	}
+
+	params := model.Params()
+	opt := optim.NewAdam(params)
+
+	lossOf := func(idx []int) float64 {
+		total := 0.0
+		for _, i := range idx {
+			s := &ds.Samples[i]
+			ctx := ag.NewContext()
+			pred := model.Predict(ctx, s.Encoded)
+			diff := pred.Value().At(0, 0) - s.Measured/scale
+			if cfg.Loss == MSE {
+				total += diff * diff
+			} else {
+				total += math.Abs(diff)
+			}
+		}
+		return total / float64(len(idx))
+	}
+
+	best := math.Inf(1)
+	bestParams := snapshot(params)
+	bad := 0
+	res := TrainResult{Scale: scale}
+
+	order := append([]int{}, trainIdx...)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		lr := optim.CosineDecay(cfg.BaseLR, epoch, cfg.Epochs)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for lo := 0; lo < len(order); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > len(order) {
+				hi = len(order)
+			}
+			for _, i := range order[lo:hi] {
+				s := &ds.Samples[i]
+				ctx := ag.NewContext()
+				pred := model.Predict(ctx, s.Encoded)
+				target := tensor.Full(1, 1, s.Measured/scale)
+				var loss *ag.Node
+				if cfg.Loss == MSE {
+					loss = ctx.MSELoss(pred, target)
+				} else {
+					loss = ctx.MAELoss(pred, target)
+				}
+				ctx.Backward(loss)
+			}
+			optim.ScaleGrads(params, 1/float64(hi-lo))
+			optim.ClipGradNorm(params, cfg.ClipNorm)
+			opt.Step(lr)
+		}
+		res.EpochsRun = epoch + 1
+
+		val := lossOf(valIdx)
+		if val < best {
+			best = val
+			copyInto(bestParams, params)
+			bad = 0
+		} else {
+			bad++
+			if bad >= cfg.Patience {
+				break
+			}
+		}
+	}
+	restore(params, bestParams)
+	res.BestValLoss = best
+	res.WallSeconds = time.Since(start).Seconds()
+	return Trained{Model: model, Scale: scale}, res
+}
+
+// PredictEncoded returns the trained model's latency prediction in seconds
+// for an encoded stage graph. Latency is a positive quantity, so raw network
+// outputs are floored at 1% of the label scale.
+func (t Trained) PredictEncoded(e *stage.Encoded) float64 {
+	ctx := ag.NewContext()
+	pred := t.Model.Predict(ctx, e).Value().At(0, 0) * t.Scale
+	if floor := 0.01 * t.Scale; pred < floor {
+		return floor
+	}
+	return pred
+}
+
+// PredictGraph returns the latency prediction in seconds for a sample.
+func (t Trained) PredictGraph(s *Sample) float64 {
+	return t.PredictEncoded(s.Encoded)
+}
+
+// MRE computes the mean relative error (Eqn 5, in percent) of the trained
+// model over the given sample indices, against the profiled ground truth.
+func (t Trained) MRE(ds *Dataset, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, i := range idx {
+		s := &ds.Samples[i]
+		pred := t.PredictGraph(s)
+		total += math.Abs(pred-s.Measured) / s.Measured
+	}
+	return total / float64(len(idx)) * 100
+}
+
+func snapshot(params []*ag.Param) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		out[i] = p.V.Clone()
+	}
+	return out
+}
+
+func copyInto(dst []*tensor.Tensor, params []*ag.Param) {
+	for i, p := range params {
+		copy(dst[i].Data, p.V.Data)
+	}
+}
+
+func restore(params []*ag.Param, src []*tensor.Tensor) {
+	for i, p := range params {
+		copy(p.V.Data, src[i].Data)
+	}
+}

@@ -1,0 +1,345 @@
+package stage
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"predtop/internal/ir"
+	"predtop/internal/models"
+)
+
+// diamond builds a 4-node diamond graph a→{b,c}→d with a reshape inserted
+// between a and b for pruning tests.
+func diamondWithReshape() *ir.Graph {
+	b := ir.NewBuilder()
+	a := b.Input("a", []int{4, 4}, ir.F32)
+	r := b.Reshape(a, []int{16})
+	r2 := b.Reshape(r, []int{4, 4})
+	left := b.Unary(ir.KindExp, r2)
+	right := b.Unary(ir.KindTanh, a)
+	d := b.Ewise(ir.KindAdd, left, right)
+	b.Output(d)
+	return b.Graph()
+}
+
+func TestFromGraphNoPrune(t *testing.T) {
+	g := diamondWithReshape()
+	d := FromGraph(g, false)
+	if d.N() != g.NumNodes() {
+		t.Fatalf("unpruned DAG has %d nodes, graph %d", d.N(), g.NumNodes())
+	}
+}
+
+func TestPruningRemovesAndRewires(t *testing.T) {
+	g := diamondWithReshape()
+	d := FromGraph(g, true)
+	for _, k := range d.Kinds {
+		if prunedKind(k) {
+			t.Fatalf("pruned kind %v survived", k)
+		}
+	}
+	if d.N() != g.NumNodes()-2 {
+		t.Fatalf("expected 2 nodes pruned: %d of %d", d.N(), g.NumNodes())
+	}
+	// exp's predecessor chain must now reach the input directly.
+	expID := -1
+	for i, k := range d.Kinds {
+		if k == ir.KindExp {
+			expID = i
+		}
+	}
+	if expID < 0 {
+		t.Fatal("exp node missing")
+	}
+	if len(d.Preds[expID]) != 1 || d.Classes[d.Preds[expID][0]] != ir.ClassInput {
+		t.Fatalf("exp not rewired to input: preds %v", d.Preds[expID])
+	}
+}
+
+func TestPruningPreservesReachability(t *testing.T) {
+	// Property: for retained nodes, u reaches v in the pruned DAG iff it did
+	// in the unpruned DAG.
+	m := models.Build(models.GPT3())
+	g := m.StageGraph(1, 2, false)
+	full := FromGraph(g, false)
+	pruned := FromGraph(g, true)
+
+	// Map retained nodes: rebuild the retention order.
+	var retained []int
+	for i, node := range g.Nodes {
+		if !(node.Class == ir.ClassOperator && prunedKind(node.Kind)) {
+			retained = append(retained, i)
+		}
+	}
+	if len(retained) != pruned.N() {
+		t.Fatalf("retained %d != pruned %d", len(retained), pruned.N())
+	}
+	ancFull := full.Ancestors()
+	ancPruned := pruned.Ancestors()
+	for vi, v := range retained {
+		for ui, u := range retained {
+			if ui >= vi {
+				break
+			}
+			if ancFull[v].get(u) != ancPruned[vi].get(ui) {
+				t.Fatalf("reachability changed for (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestAncestorsAndDepths(t *testing.T) {
+	b := ir.NewBuilder()
+	a := b.Input("a", []int{2}, ir.F32)
+	x := b.Unary(ir.KindExp, a)
+	y := b.Unary(ir.KindTanh, x)
+	z := b.Ewise(ir.KindAdd, y, a)
+	b.Output(z)
+	d := FromGraph(b.Graph(), false)
+	anc := d.Ancestors()
+	// z (index 3) has ancestors {a, x, y}.
+	for _, u := range []int{0, 1, 2} {
+		if !anc[3].get(u) {
+			t.Fatalf("node 3 missing ancestor %d", u)
+		}
+	}
+	if anc[1].get(2) {
+		t.Fatal("x should not have y as ancestor")
+	}
+	depths := d.Depths()
+	want := []int{0, 1, 2, 3, 4}
+	for i, w := range want {
+		if depths[i] != w {
+			t.Fatalf("depth[%d]=%d want %d", i, depths[i], w)
+		}
+	}
+}
+
+func TestEncodeFeatures(t *testing.T) {
+	m := models.Build(models.GPT3())
+	g := m.StageGraph(1, 2, false)
+	e := Encode(FromGraph(g, true))
+	if e.X.C != FeatureDim {
+		t.Fatalf("feature dim %d != %d", e.X.C, FeatureDim)
+	}
+	if e.N() != e.ReachMask.R || e.N() != e.AdjNorm.R || e.N() != len(e.Depths) {
+		t.Fatal("inconsistent encoded sizes")
+	}
+	// One-hot blocks must each sum to exactly 1 per node.
+	for v := 0; v < e.N(); v++ {
+		row := e.X.Row(v)
+		kindSum, dtypeSum, classSum := 0.0, 0.0, 0.0
+		for i := 0; i < ir.NumKinds; i++ {
+			kindSum += row[i]
+		}
+		off := ir.NumKinds + MaxDimFeatures + 1
+		for i := 0; i < ir.NumDTypes; i++ {
+			dtypeSum += row[off+i]
+		}
+		off += ir.NumDTypes
+		for i := 0; i < ir.NumClasses; i++ {
+			classSum += row[off+i]
+		}
+		if kindSum != 1 || dtypeSum != 1 || classSum != 1 {
+			t.Fatalf("node %d one-hots: %v %v %v", v, kindSum, dtypeSum, classSum)
+		}
+	}
+	// Dimension features are log-scaled: log1p(2048) ≈ 7.6, far below raw.
+	maxDim := 0.0
+	for v := 0; v < e.N(); v++ {
+		for i := ir.NumKinds; i < ir.NumKinds+MaxDimFeatures+1; i++ {
+			if f := e.X.At(v, i); f > maxDim {
+				maxDim = f
+			}
+		}
+	}
+	if maxDim > 30 || maxDim < 5 {
+		t.Fatalf("dim features not log-scaled: max %v", maxDim)
+	}
+}
+
+func TestReachMaskSymmetricAndSelf(t *testing.T) {
+	m := models.Build(models.GPT3())
+	g := m.StageGraph(1, 2, false)
+	e := Encode(FromGraph(g, true))
+	n := e.N()
+	for v := 0; v < n; v++ {
+		if e.ReachMask.At(v, v) != 0 {
+			t.Fatalf("self not attendable at %d", v)
+		}
+		for u := 0; u < n; u++ {
+			if e.ReachMask.At(u, v) != e.ReachMask.At(v, u) {
+				t.Fatalf("mask asymmetric at (%d,%d)", u, v)
+			}
+			mv := e.ReachMask.At(u, v)
+			if mv != 0 && !math.IsInf(mv, -1) {
+				t.Fatalf("mask value %v not in {0,−Inf}", mv)
+			}
+		}
+	}
+}
+
+func TestNeighborMaskSubsetOfReachMask(t *testing.T) {
+	m := models.Build(models.MoE())
+	g := m.StageGraph(2, 3, false)
+	e := Encode(FromGraph(g, true))
+	for v := 0; v < e.N(); v++ {
+		for u := 0; u < e.N(); u++ {
+			if e.NeighborMask.At(v, u) == 0 && e.ReachMask.At(v, u) != 0 {
+				t.Fatalf("neighbor (%d,%d) not reachable", v, u)
+			}
+		}
+	}
+}
+
+func TestAdjNormRowsStochasticLike(t *testing.T) {
+	m := models.Build(models.GPT3())
+	g := m.StageGraph(1, 2, false)
+	e := Encode(FromGraph(g, true))
+	// Symmetric normalization keeps entries in (0,1] and the matrix
+	// symmetric.
+	for v := 0; v < e.N(); v++ {
+		if e.AdjNorm.At(v, v) <= 0 {
+			t.Fatalf("no self loop at %d", v)
+		}
+		for u := 0; u < e.N(); u++ {
+			a := e.AdjNorm.At(v, u)
+			if a < 0 || a > 1 {
+				t.Fatalf("adj value %v out of range", a)
+			}
+			if math.Abs(a-e.AdjNorm.At(u, v)) > 1e-12 {
+				t.Fatalf("adj asymmetric at (%d,%d)", v, u)
+			}
+		}
+	}
+}
+
+func TestAllSpecs(t *testing.T) {
+	specs := AllSpecs(5, 0)
+	if len(specs) != 15 { // 5+4+3+2+1
+		t.Fatalf("AllSpecs(5): %d", len(specs))
+	}
+	specs = AllSpecs(5, 2)
+	if len(specs) != 9 { // 5 singles + 4 pairs
+		t.Fatalf("AllSpecs(5, maxLen 2): %d", len(specs))
+	}
+	for _, s := range specs {
+		if s.Len() < 1 || s.Len() > 2 {
+			t.Fatalf("spec %v out of bounds", s)
+		}
+	}
+}
+
+func TestSampleSpecsDiverseAndDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	specs := SampleSpecs(rng, 26, 40, 4)
+	if len(specs) != 40 {
+		t.Fatalf("sampled %d", len(specs))
+	}
+	seen := map[Spec]bool{}
+	lens := map[int]int{}
+	for _, s := range specs {
+		if seen[s] {
+			t.Fatalf("duplicate spec %v", s)
+		}
+		seen[s] = true
+		lens[s.Len()]++
+	}
+	for l := 1; l <= 4; l++ {
+		if lens[l] == 0 {
+			t.Fatalf("no stages of length %d sampled", l)
+		}
+	}
+}
+
+func TestSampleSpecsExhaustsUniverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	specs := SampleSpecs(rng, 4, 100, 0)
+	if len(specs) != 10 {
+		t.Fatalf("universe size %d", len(specs))
+	}
+}
+
+func TestSplitProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(3))}
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%100 + 10
+		rng := rand.New(rand.NewSource(seed))
+		train, val, test := Split(rng, n, 0.5, 0.1)
+		if len(train)+len(val)+len(test) != n {
+			return false
+		}
+		seen := make(map[int]bool, n)
+		for _, idx := range append(append(append([]int{}, train...), val...), test...) {
+			if idx < 0 || idx >= n || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		return len(train) >= 1
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	b := newBitset(130)
+	for _, i := range []int{0, 63, 64, 129} {
+		b.set(i)
+		if !b.get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.get(1) || b.get(128) {
+		t.Fatal("unexpected bits set")
+	}
+	o := newBitset(130)
+	o.set(5)
+	b.or(o)
+	if !b.get(5) || !b.get(129) {
+		t.Fatal("or failed")
+	}
+}
+
+func TestAncestorsTransitive(t *testing.T) {
+	// Property: ancestor sets are transitively closed.
+	m := models.Build(models.GPT3())
+	d := FromGraph(m.StageGraph(1, 3, false), true)
+	anc := d.Ancestors()
+	for v := 0; v < d.N(); v++ {
+		for u := 0; u < v; u++ {
+			if !anc[v].get(u) {
+				continue
+			}
+			for w := 0; w < u; w++ {
+				if anc[u].get(w) && !anc[v].get(w) {
+					t.Fatalf("transitivity broken: %d→%d→%d", w, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestDepthsMonotoneAlongEdges(t *testing.T) {
+	m := models.Build(models.MoE())
+	d := FromGraph(m.StageGraph(2, 3, false), true)
+	depths := d.Depths()
+	for v := 0; v < d.N(); v++ {
+		for _, p := range d.Preds[v] {
+			if depths[v] <= depths[p] {
+				t.Fatalf("depth not increasing along edge %d→%d", p, v)
+			}
+		}
+	}
+}
+
+func TestFeatureDimConstant(t *testing.T) {
+	// The predictors' input width is a compile-time constant; catch
+	// accidental drift when op kinds or dtypes are added.
+	if FeatureDim != ir.NumKinds+MaxDimFeatures+1+ir.NumDTypes+ir.NumClasses {
+		t.Fatal("FeatureDim formula drifted")
+	}
+}

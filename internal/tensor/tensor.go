@@ -1,0 +1,501 @@
+// Package tensor implements dense row-major float64 matrices with the
+// operations needed to train the neural predictors in this repository.
+//
+// Tensors are two-dimensional; vectors are represented as 1×C (row) or R×1
+// (column) matrices. The hot path — MatMul and its transposed variants —
+// uses a cache-blocked ikj loop parallelized over row blocks.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"predtop/internal/parallel"
+)
+
+// Tensor is a dense row-major matrix of float64 values.
+type Tensor struct {
+	R, C int
+	Data []float64
+}
+
+// New returns a zero-filled r×c tensor.
+func New(r, c int) *Tensor {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %dx%d", r, c))
+	}
+	return &Tensor{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// FromSlice builds an r×c tensor from row-major data. The slice is copied.
+func FromSlice(r, c int, data []float64) *Tensor {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("tensor: FromSlice %dx%d needs %d values, got %d", r, c, r*c, len(data)))
+	}
+	t := New(r, c)
+	copy(t.Data, data)
+	return t
+}
+
+// FromRows builds a tensor from a slice of equal-length rows.
+func FromRows(rows [][]float64) *Tensor {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	t := New(len(rows), len(rows[0]))
+	for i, row := range rows {
+		if len(row) != t.C {
+			panic("tensor: FromRows ragged input")
+		}
+		copy(t.Row(i), row)
+	}
+	return t
+}
+
+// Full returns an r×c tensor with every element set to v.
+func Full(r, c int, v float64) *Tensor {
+	t := New(r, c)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// Eye returns the n×n identity matrix.
+func Eye(n int) *Tensor {
+	t := New(n, n)
+	for i := 0; i < n; i++ {
+		t.Data[i*n+i] = 1
+	}
+	return t
+}
+
+// Randn fills a new r×c tensor with N(0, std²) samples from rng.
+func Randn(rng *rand.Rand, r, c int, std float64) *Tensor {
+	t := New(r, c)
+	for i := range t.Data {
+		t.Data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// RandUniform fills a new r×c tensor with U(lo, hi) samples from rng.
+func RandUniform(rng *rand.Rand, r, c int, lo, hi float64) *Tensor {
+	t := New(r, c)
+	for i := range t.Data {
+		t.Data[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return t
+}
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.R, t.C)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// At returns element (i, j).
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.C+j] }
+
+// Set assigns element (i, j).
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.C+j] = v }
+
+// Row returns a mutable view of row i.
+func (t *Tensor) Row(i int) []float64 { return t.Data[i*t.C : (i+1)*t.C] }
+
+// Size returns the number of elements.
+func (t *Tensor) Size() int { return t.R * t.C }
+
+// SameShape reports whether t and o have identical dimensions.
+func (t *Tensor) SameShape(o *Tensor) bool { return t.R == o.R && t.C == o.C }
+
+// Zero resets every element to 0 in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// String renders a small tensor for debugging.
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor %dx%d", t.R, t.C)
+	if t.Size() <= 64 {
+		for i := 0; i < t.R; i++ {
+			b.WriteString("\n  ")
+			for j := 0; j < t.C; j++ {
+				fmt.Fprintf(&b, "% .4g ", t.At(i, j))
+			}
+		}
+	}
+	return b.String()
+}
+
+func assertShape(cond bool, format string, args ...any) {
+	if !cond {
+		panic("tensor: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// matmulRowBlock is the number of output rows handled per parallel task.
+const matmulRowBlock = 16
+
+// MatMul returns a·b for a (m×k) and b (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	assertShape(a.C == b.R, "MatMul shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C)
+	out := New(a.R, b.C)
+	m, k, n := a.R, a.C, b.C
+	parallel.ForBlocked(m, matmulRowBlock, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := out.Data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				axpy(arow[p], b.Data[p*n:(p+1)*n], crow)
+			}
+		}
+	})
+	return out
+}
+
+// axpy computes y += a*x over equal-length slices, unrolled by eight.
+func axpy(a float64, x, y []float64) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x8 := x[i : i+8 : i+8]
+		y8 := y[i : i+8 : i+8]
+		y8[0] += a * x8[0]
+		y8[1] += a * x8[1]
+		y8[2] += a * x8[2]
+		y8[3] += a * x8[3]
+		y8[4] += a * x8[4]
+		y8[5] += a * x8[5]
+		y8[6] += a * x8[6]
+		y8[7] += a * x8[7]
+	}
+	for ; i < n; i++ {
+		y[i] += a * x[i]
+	}
+}
+
+// dot computes the inner product of two equal-length slices, unrolled by four.
+func dot(x, y []float64) float64 {
+	n := len(x)
+	if n == 0 {
+		return 0
+	}
+	y = y[:n]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		s0 += x4[0] * y4[0]
+		s1 += x4[1] * y4[1]
+		s2 += x4[2] * y4[2]
+		s3 += x4[3] * y4[3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < n; i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// MatMulBT returns a·bᵀ for a (m×k) and b (n×k). This is the layout used by
+// attention scores (Q·Kᵀ) and avoids materializing a transpose.
+func MatMulBT(a, b *Tensor) *Tensor {
+	assertShape(a.C == b.C, "MatMulBT shape mismatch %dx%d · (%dx%d)ᵀ", a.R, a.C, b.R, b.C)
+	out := New(a.R, b.R)
+	k := a.C
+	parallel.ForBlocked(a.R, matmulRowBlock, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			crow := out.Data[i*b.R : (i+1)*b.R]
+			for j := 0; j < b.R; j++ {
+				crow[j] = dot(arow, b.Data[j*k:(j+1)*k])
+			}
+		}
+	})
+	return out
+}
+
+// MatMulAT returns aᵀ·b for a (k×m) and b (k×n). This is the layout used by
+// weight gradients (Xᵀ·dY).
+func MatMulAT(a, b *Tensor) *Tensor {
+	assertShape(a.R == b.R, "MatMulAT shape mismatch (%dx%d)ᵀ · %dx%d", a.R, a.C, b.R, b.C)
+	out := New(a.C, b.C)
+	m, n := a.C, b.C
+	// out[p][j] = sum_i a[i][p] * b[i][j]; accumulate row blocks serially to
+	// keep writes race-free, parallelizing over output rows.
+	parallel.ForBlocked(m, matmulRowBlock, func(lo, hi int) {
+		for i := 0; i < a.R; i++ {
+			arow := a.Data[i*m : (i+1)*m]
+			brow := b.Data[i*n : (i+1)*n]
+			for p := lo; p < hi; p++ {
+				if av := arow[p]; av != 0 {
+					axpy(av, brow, out.Data[p*n:(p+1)*n])
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Transpose returns tᵀ.
+func (t *Tensor) Transpose() *Tensor {
+	out := New(t.C, t.R)
+	for i := 0; i < t.R; i++ {
+		for j := 0; j < t.C; j++ {
+			out.Data[j*t.R+i] = t.Data[i*t.C+j]
+		}
+	}
+	return out
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor { return zipWith(a, b, func(x, y float64) float64 { return x + y }) }
+
+// Sub returns a − b elementwise.
+func Sub(a, b *Tensor) *Tensor { return zipWith(a, b, func(x, y float64) float64 { return x - y }) }
+
+// Mul returns a ⊙ b elementwise.
+func Mul(a, b *Tensor) *Tensor { return zipWith(a, b, func(x, y float64) float64 { return x * y }) }
+
+// Div returns a / b elementwise.
+func Div(a, b *Tensor) *Tensor { return zipWith(a, b, func(x, y float64) float64 { return x / y }) }
+
+func zipWith(a, b *Tensor, f func(x, y float64) float64) *Tensor {
+	assertShape(a.SameShape(b), "elementwise shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
+	out := New(a.R, a.C)
+	for i := range a.Data {
+		out.Data[i] = f(a.Data[i], b.Data[i])
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b *Tensor) {
+	assertShape(a.SameShape(b), "AddInPlace shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// AddScaledInPlace accumulates s·b into a.
+func AddScaledInPlace(a *Tensor, s float64, b *Tensor) {
+	assertShape(a.SameShape(b), "AddScaledInPlace shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
+	for i := range a.Data {
+		a.Data[i] += s * b.Data[i]
+	}
+}
+
+// Scale returns s·t.
+func Scale(t *Tensor, s float64) *Tensor {
+	out := New(t.R, t.C)
+	for i, v := range t.Data {
+		out.Data[i] = s * v
+	}
+	return out
+}
+
+// Map returns f applied elementwise.
+func Map(t *Tensor, f func(float64) float64) *Tensor {
+	out := New(t.R, t.C)
+	for i, v := range t.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// AddRowVec returns t with the 1×C row vector v added to every row.
+func AddRowVec(t, v *Tensor) *Tensor {
+	assertShape(v.R == 1 && v.C == t.C, "AddRowVec wants 1x%d, got %dx%d", t.C, v.R, v.C)
+	out := New(t.R, t.C)
+	for i := 0; i < t.R; i++ {
+		row, orow := t.Row(i), out.Row(i)
+		for j := range row {
+			orow[j] = row[j] + v.Data[j]
+		}
+	}
+	return out
+}
+
+// AddOuter returns the N×M matrix a·1ᵀ + 1·bᵀ from column vectors a (N×1)
+// and b (M×1): out[i][j] = a[i] + b[j]. Used by GAT attention logits.
+func AddOuter(a, b *Tensor) *Tensor {
+	assertShape(a.C == 1 && b.C == 1, "AddOuter wants column vectors, got %dx%d and %dx%d", a.R, a.C, b.R, b.C)
+	out := New(a.R, b.R)
+	for i := 0; i < a.R; i++ {
+		av := a.Data[i]
+		row := out.Row(i)
+		for j := 0; j < b.R; j++ {
+			row[j] = av + b.Data[j]
+		}
+	}
+	return out
+}
+
+// SumRows returns the 1×C vector of column sums (summing over rows).
+func SumRows(t *Tensor) *Tensor {
+	out := New(1, t.C)
+	for i := 0; i < t.R; i++ {
+		row := t.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// SumCols returns the R×1 vector of row sums (summing over columns).
+func SumCols(t *Tensor) *Tensor {
+	out := New(t.R, 1)
+	for i := 0; i < t.R; i++ {
+		s := 0.0
+		for _, v := range t.Row(i) {
+			s += v
+		}
+		out.Data[i] = s
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element, or 0 for an empty tensor.
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// SoftmaxRows returns row-wise softmax of t. If mask is non-nil it is added
+// to the logits first (entries of −Inf disable positions). Rows whose every
+// position is masked yield all-zero output rather than NaN.
+func SoftmaxRows(t, mask *Tensor) *Tensor {
+	if mask != nil {
+		assertShape(t.SameShape(mask), "SoftmaxRows mask shape mismatch")
+	}
+	out := New(t.R, t.C)
+	for i := 0; i < t.R; i++ {
+		row := t.Row(i)
+		orow := out.Row(i)
+		maxv := math.Inf(-1)
+		for j, v := range row {
+			if mask != nil {
+				v += mask.At(i, j)
+			}
+			orow[j] = v
+			if v > maxv {
+				maxv = v
+			}
+		}
+		if math.IsInf(maxv, -1) {
+			for j := range orow {
+				orow[j] = 0
+			}
+			continue
+		}
+		sum := 0.0
+		for j, v := range orow {
+			e := math.Exp(v - maxv)
+			orow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+// ConcatCols concatenates tensors with equal row counts along columns.
+func ConcatCols(ts ...*Tensor) *Tensor {
+	if len(ts) == 0 {
+		return New(0, 0)
+	}
+	r := ts[0].R
+	c := 0
+	for _, t := range ts {
+		assertShape(t.R == r, "ConcatCols row mismatch %d vs %d", t.R, r)
+		c += t.C
+	}
+	out := New(r, c)
+	for i := 0; i < r; i++ {
+		orow := out.Row(i)
+		off := 0
+		for _, t := range ts {
+			copy(orow[off:off+t.C], t.Row(i))
+			off += t.C
+		}
+	}
+	return out
+}
+
+// SliceCols returns columns [lo, hi) of t as a new tensor.
+func SliceCols(t *Tensor, lo, hi int) *Tensor {
+	assertShape(0 <= lo && lo <= hi && hi <= t.C, "SliceCols bad range [%d,%d) of %d", lo, hi, t.C)
+	out := New(t.R, hi-lo)
+	for i := 0; i < t.R; i++ {
+		copy(out.Row(i), t.Row(i)[lo:hi])
+	}
+	return out
+}
+
+// GatherRows returns the tensor whose i-th row is t.Row(idx[i]).
+func GatherRows(t *Tensor, idx []int) *Tensor {
+	out := New(len(idx), t.C)
+	for i, id := range idx {
+		assertShape(0 <= id && id < t.R, "GatherRows index %d out of %d rows", id, t.R)
+		copy(out.Row(i), t.Row(id))
+	}
+	return out
+}
+
+// ScatterAddRows adds each row of src into dst.Row(idx[i]).
+func ScatterAddRows(dst, src *Tensor, idx []int) {
+	assertShape(src.R == len(idx) && src.C == dst.C, "ScatterAddRows shape mismatch")
+	for i, id := range idx {
+		drow, srow := dst.Row(id), src.Row(i)
+		for j := range srow {
+			drow[j] += srow[j]
+		}
+	}
+}
+
+// AllClose reports whether a and b agree elementwise within tol.
+func AllClose(a, b *Tensor, tol float64) bool {
+	if !a.SameShape(b) {
+		return false
+	}
+	for i := range a.Data {
+		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
