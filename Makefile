@@ -1,0 +1,25 @@
+# Tier-1 gate: everything `make ci` runs must stay green.
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race pass runs in -short mode: it still exercises the concurrent
+# training, reduction, and experiment paths (the determinism tests are not
+# short-skipped), but drops the slow grid regenerations.
+race:
+	$(GO) test -race -short ./internal/...
+
+# Paper-artifact benchmarks at the quick preset; one iteration each.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .

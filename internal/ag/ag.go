@@ -30,6 +30,50 @@ func NewParam(name string, t *tensor.Tensor) *Param {
 // ZeroGrad clears the accumulated gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
+// GradBuffer is a private gradient accumulator covering a fixed parameter
+// set. Data-parallel training gives each minibatch shard its own buffer
+// (via NewContextInto) so worker goroutines never write shared state;
+// optim.ReduceGrads then folds the shard buffers into Param.Grad in a fixed
+// order, keeping results bitwise identical across worker counts.
+type GradBuffer struct {
+	grads []*tensor.Tensor
+	index map[*Param]int
+}
+
+// NewGradBuffer allocates a zeroed accumulator per parameter. Buffers that
+// will be reduced together must be built from the same params slice so
+// their accumulators align.
+func NewGradBuffer(params []*Param) *GradBuffer {
+	b := &GradBuffer{
+		grads: make([]*tensor.Tensor, len(params)),
+		index: make(map[*Param]int, len(params)),
+	}
+	for i, p := range params {
+		b.grads[i] = tensor.New(p.V.R, p.V.C)
+		b.index[p] = i
+	}
+	return b
+}
+
+// Grad returns the buffer's accumulator for p.
+func (b *GradBuffer) Grad(p *Param) *tensor.Tensor {
+	i, ok := b.index[p]
+	if !ok {
+		panic("ag: GradBuffer does not cover parameter " + p.Name)
+	}
+	return b.grads[i]
+}
+
+// Grads returns the accumulators in construction parameter order.
+func (b *GradBuffer) Grads() []*tensor.Tensor { return b.grads }
+
+// Zero clears every accumulator for reuse.
+func (b *GradBuffer) Zero() {
+	for _, g := range b.grads {
+		g.Zero()
+	}
+}
+
 // Node is one value on the autodiff tape.
 type Node struct {
 	V        *tensor.Tensor
@@ -49,11 +93,32 @@ func (n *Node) Grad() *tensor.Tensor { return n.grad }
 type Context struct {
 	nodes  []*Node
 	params map[*Param]*Node
+	grads  *GradBuffer // nil: Backward accumulates into Param.Grad directly
 }
 
-// NewContext returns an empty tape.
+// NewContext returns an empty tape accumulating into Param.Grad.
 func NewContext() *Context {
 	return &Context{params: make(map[*Param]*Node)}
+}
+
+// NewContextInto returns an empty tape whose Backward accumulates parameter
+// gradients into b instead of the shared Param.Grad, so concurrent tapes
+// over the same parameters never race.
+func NewContextInto(b *GradBuffer) *Context {
+	c := NewContext()
+	c.grads = b
+	return c
+}
+
+// Reset clears the tape for reuse, keeping its gradient destination and the
+// node slice's backing array (so a pooled context stops allocating once it
+// has seen its largest graph).
+func (c *Context) Reset() {
+	for i := range c.nodes {
+		c.nodes[i] = nil
+	}
+	c.nodes = c.nodes[:0]
+	clear(c.params)
 }
 
 func (c *Context) add(n *Node) *Node {
@@ -73,7 +138,11 @@ func (c *Context) Param(p *Param) *Node {
 		return n
 	}
 	n := c.add(&Node{V: p.V, requires: true})
-	n.back = func(g *tensor.Tensor) { tensor.AddInPlace(p.Grad, g) }
+	dst := p.Grad
+	if c.grads != nil {
+		dst = c.grads.Grad(p)
+	}
+	n.back = func(g *tensor.Tensor) { tensor.AddInPlace(dst, g) }
 	c.params[p] = n
 	return n
 }

@@ -9,6 +9,7 @@ import (
 	"predtop/internal/cluster"
 	"predtop/internal/graphnn"
 	"predtop/internal/models"
+	"predtop/internal/parallel"
 	"predtop/internal/predictor"
 	"predtop/internal/sim"
 	"predtop/internal/stage"
@@ -60,9 +61,13 @@ func RunAblation(p Preset, bench Benchmark, platform cluster.Platform, frac floa
 		{"MSE-loss", base, predictor.MSE},
 	}
 
-	var rows []AblationRow
-	for _, v := range variants {
-		cfg := p.Train
+	// Variants are independent (each trains its own model from the same
+	// seed), so they run concurrently; logs print in variant order.
+	rows := make([]AblationRow, len(variants))
+	logs := make([]string, len(variants))
+	parallel.ForLimit(len(variants), p.Workers, func(i int) {
+		v := variants[i]
+		cfg := trainConfig(p.Train, p.Workers)
 		cfg.Loss = v.loss
 		cfg.Seed = p.Seed + 31
 		model := graphnn.NewDAGTransformer(rand.New(rand.NewSource(cfg.Seed)), p.Tran)
@@ -73,8 +78,11 @@ func RunAblation(p Preset, bench Benchmark, platform cluster.Platform, frac floa
 			Epochs:  res.EpochsRun,
 			AvgN:    avgNodes(v.ds),
 		}
-		rows = append(rows, row)
-		fmt.Fprintf(log, "[ablate %s] %-11s MRE %.2f%% (avg %.0f nodes)\n", bench.Name, v.name, row.MRE, row.AvgN)
+		rows[i] = row
+		logs[i] = fmt.Sprintf("[ablate %s] %-11s MRE %.2f%% (avg %.0f nodes)\n", bench.Name, v.name, row.MRE, row.AvgN)
+	})
+	for _, line := range logs {
+		io.WriteString(log, line)
 	}
 	return rows
 }

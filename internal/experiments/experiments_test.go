@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"io"
+	"math"
 	"strings"
 	"testing"
 
@@ -195,5 +197,39 @@ func TestRunAblationEndToEnd(t *testing.T) {
 	}
 	if out := RenderAblation("GPT-3", rows); !strings.Contains(out, "no-DAGRA") {
 		t.Fatal("ablation render incomplete")
+	}
+}
+
+// TestMRETableWorkerInvariant checks the experiment harness inherits the
+// engine's determinism: the full MRE grid is bitwise identical whether cells
+// run serially or concurrently, because each cell derives its RNGs from its
+// own (fraction, scenario, model) coordinates, never from schedule order.
+func TestMRETableWorkerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid comparison is slow")
+	}
+	p := micro()
+	p.Fractions = []int{60}
+	p.Train.Epochs = 2
+	p.Train.Patience = 2
+	bench := p.Benchmarks()[0]
+
+	run := func(workers int) *MRETable {
+		q := p
+		q.Workers = workers
+		return RunMRETable(q, bench, cluster.Platform1(), io.Discard)
+	}
+	serial := run(1)
+	concurrent := run(3)
+	for fi := range serial.MRE {
+		for si := range serial.MRE[fi] {
+			for mi, want := range serial.MRE[fi][si] {
+				got := concurrent.MRE[fi][si][mi]
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("cell f=%d s=%d m=%d: workers=3 %v != workers=1 %v",
+						fi, si, mi, got, want)
+				}
+			}
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"predtop/internal/cluster"
 	"predtop/internal/models"
+	"predtop/internal/parallel"
 	"predtop/internal/planner"
 	"predtop/internal/sim"
 )
@@ -44,9 +45,44 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 	prof := sim.DefaultProfiler()
 	opts := planner.Options{Microbatches: p.Microbatches, MaxStageLen: maxLen}
 
-	runWith := func(version string, latFn planner.LatencyFn, meter *planner.Meter) PlanRun {
-		plan, ok := planner.Optimize(mdl.NumSegments(), platform, latFn, opts)
-		run := PlanRun{Version: version, Meter: *meter, OptimizeSeconds: meter.Total(), OK: ok}
+	// Each planner version owns its latency source and cost meter, so the
+	// five runs are independent and execute concurrently (p.Workers bound);
+	// per-run log lines are buffered and emitted in version order.
+	type runSpec struct {
+		version string
+		latFn   planner.LatencyFn
+		meter   *planner.Meter
+	}
+	var specs []runSpec
+	{
+		meter := &planner.Meter{}
+		specs = append(specs, runSpec{"Alpa-Full", planner.FullProfiling(mdl, prof, meter), meter})
+	}
+	{
+		meter := &planner.Meter{}
+		specs = append(specs, runSpec{"Alpa-Partial", planner.PartialProfiling(mdl, prof, meter, p.PartialAlpha), meter})
+	}
+	for _, kind := range []planner.PredictorKind{planner.KindGCN, planner.KindGAT, planner.KindTransformer} {
+		meter := &planner.Meter{}
+		latFn := planner.TrainPredictorProvider(mdl, platform, planner.PredictorOptions{
+			Kind:        kind,
+			SampleFrac:  p.PredSampleFrac,
+			MaxStageLen: maxLen,
+			Train:       trainConfig(p.PlanTrain, p.Workers),
+			Tran:        p.Tran,
+			GCN:         p.GCN,
+			GAT:         p.GAT,
+			Seed:        p.Seed,
+		}, prof, meter)
+		specs = append(specs, runSpec{kind.String(), latFn, meter})
+	}
+
+	out := make([]PlanRun, len(specs))
+	logs := make([]string, len(specs))
+	parallel.ForLimit(len(specs), p.Workers, func(i int) {
+		sp := specs[i]
+		plan, ok := planner.Optimize(mdl.NumSegments(), platform, sp.latFn, opts)
+		run := PlanRun{Version: sp.version, Meter: *sp.meter, OptimizeSeconds: sp.meter.Total(), OK: ok}
 		if ok {
 			run.Stages = plan.NumStages()
 			if lat, evalOK := planner.EvaluatePlan(mdl, plan, p.Microbatches); evalOK {
@@ -55,34 +91,13 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 				run.OK = false
 			}
 		}
-		fmt.Fprintf(log, "[fig10 %s] %-13s opt %.0fs (profile %.0fs train %.0fs infer %.0fs, %d profiles) iter %.3fs stages %d\n",
-			bench.Name, version, run.OptimizeSeconds, meter.ProfileSeconds, meter.TrainSeconds,
-			meter.InferSeconds, meter.StagesProfiled, run.IterationLatency, run.Stages)
-		return run
-	}
-
-	var out []PlanRun
-	{
-		meter := &planner.Meter{}
-		out = append(out, runWith("Alpa-Full", planner.FullProfiling(mdl, prof, meter), meter))
-	}
-	{
-		meter := &planner.Meter{}
-		out = append(out, runWith("Alpa-Partial", planner.PartialProfiling(mdl, prof, meter, p.PartialAlpha), meter))
-	}
-	for _, kind := range []planner.PredictorKind{planner.KindGCN, planner.KindGAT, planner.KindTransformer} {
-		meter := &planner.Meter{}
-		latFn := planner.TrainPredictorProvider(mdl, platform, planner.PredictorOptions{
-			Kind:        kind,
-			SampleFrac:  p.PredSampleFrac,
-			MaxStageLen: maxLen,
-			Train:       p.PlanTrain,
-			Tran:        p.Tran,
-			GCN:         p.GCN,
-			GAT:         p.GAT,
-			Seed:        p.Seed,
-		}, prof, meter)
-		out = append(out, runWith(kind.String(), latFn, meter))
+		logs[i] = fmt.Sprintf("[fig10 %s] %-13s opt %.0fs (profile %.0fs train %.0fs infer %.0fs, %d profiles) iter %.3fs stages %d\n",
+			bench.Name, sp.version, run.OptimizeSeconds, sp.meter.ProfileSeconds, sp.meter.TrainSeconds,
+			sp.meter.InferSeconds, sp.meter.StagesProfiled, run.IterationLatency, run.Stages)
+		out[i] = run
+	})
+	for _, line := range logs {
+		io.WriteString(log, line)
 	}
 	return out
 }

@@ -11,6 +11,7 @@ import (
 	"predtop/internal/cluster"
 	"predtop/internal/graphnn"
 	"predtop/internal/models"
+	"predtop/internal/parallel"
 	"predtop/internal/predictor"
 	"predtop/internal/sim"
 	"predtop/internal/stage"
@@ -48,6 +49,13 @@ func (p Preset) newModel(name string, seed int64) graphnn.Model {
 // scenario of the platform and every training fraction, it trains GCN, GAT,
 // and DAG Transformer predictors on profiled stage latencies and measures
 // test MRE (Eqn 5). log (may be nil) receives progress lines.
+//
+// Scenario datasets are profiled concurrently and the grid's
+// (fraction, scenario, model) cells train concurrently (p.Workers bound).
+// Every cell derives its model/split RNGs from (p.Seed, cell indices) and
+// gradient reduction is order-fixed, so the grid is reproducible — and
+// bitwise identical — for any worker count. Progress lines are buffered per
+// cell and emitted in the serial grid order.
 func RunMRETable(p Preset, bench Benchmark, platform cluster.Platform, log io.Writer) *MRETable {
 	if log == nil {
 		log = io.Discard
@@ -73,23 +81,42 @@ func RunMRETable(p Preset, bench Benchmark, platform cluster.Platform, log io.Wr
 		}
 	}
 
+	// Profiling is seeded per (stage, scenario), so concurrent dataset
+	// construction yields the exact samples a serial sweep would.
+	datasets := make([]*predictor.Dataset, len(scenarios))
+	parallel.ForLimit(len(scenarios), p.Workers, func(si int) {
+		datasets[si] = predictor.BuildDataset(enc, specs, scenarios[si], prof)
+	})
 	for si, sc := range scenarios {
-		ds := predictor.BuildDataset(enc, specs, sc, prof)
-		fmt.Fprintf(log, "[%s %s %v] %d stages profiled\n", bench.Name, platform.Name, sc, len(ds.Samples))
-		for fi, frac := range p.Fractions {
-			splitRng := rand.New(rand.NewSource(p.Seed*1000 + int64(fi*100+si)))
-			train, val, test := stage.Split(splitRng, len(ds.Samples), float64(frac)/100, p.ValFrac)
-			for mi, name := range ModelNames {
-				cfg := p.Train
-				cfg.Seed = p.Seed + int64(fi*1000+si*10+mi)
-				model := p.newModel(name, cfg.Seed)
-				trained, res := predictor.Train(model, ds, train, val, cfg)
-				mre := trained.MRE(ds, test)
-				t.MRE[fi][si][mi] = mre
-				fmt.Fprintf(log, "  frac %d%% %s: MRE %.2f%% (%d epochs, %.1fs)\n",
-					frac, name, mre, res.EpochsRun, res.WallSeconds)
+		fmt.Fprintf(log, "[%s %s %v] %d stages profiled\n", bench.Name, platform.Name, sc, len(datasets[si].Samples))
+	}
+
+	type cell struct{ si, fi, mi int }
+	var cells []cell
+	for si := range scenarios {
+		for fi := range p.Fractions {
+			for mi := range ModelNames {
+				cells = append(cells, cell{si, fi, mi})
 			}
 		}
+	}
+	logs := make([]string, len(cells))
+	parallel.ForLimit(len(cells), p.Workers, func(ci int) {
+		c := cells[ci]
+		ds := datasets[c.si]
+		splitRng := rand.New(rand.NewSource(p.Seed*1000 + int64(c.fi*100+c.si)))
+		train, val, test := stage.Split(splitRng, len(ds.Samples), float64(p.Fractions[c.fi])/100, p.ValFrac)
+		cfg := trainConfig(p.Train, p.Workers)
+		cfg.Seed = p.Seed + int64(c.fi*1000+c.si*10+c.mi)
+		model := p.newModel(ModelNames[c.mi], cfg.Seed)
+		trained, res := predictor.Train(model, ds, train, val, cfg)
+		mre := trained.MRE(ds, test)
+		t.MRE[c.fi][c.si][c.mi] = mre
+		logs[ci] = fmt.Sprintf("  [%s %v] frac %d%% %s: MRE %.2f%% (%d epochs, %.1fs)\n",
+			bench.Name, scenarios[c.si], p.Fractions[c.fi], ModelNames[c.mi], mre, res.EpochsRun, res.WallSeconds)
+	})
+	for _, line := range logs {
+		io.WriteString(log, line)
 	}
 	return t
 }

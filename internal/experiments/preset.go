@@ -55,6 +55,22 @@ type Preset struct {
 	RandomPlans int
 
 	Seed int64
+
+	// Workers bounds the goroutines of the experiment harness — grid cells,
+	// Fig-10 planner runs, and (unless the TrainConfigs override it) the
+	// data-parallel training loops. 0 = GOMAXPROCS, 1 = serial. Results are
+	// bitwise identical for any setting: every cell carries its own seeded
+	// RNG and gradient reduction runs in a fixed order.
+	Workers int
+}
+
+// trainConfig returns the preset's TrainConfig with the harness worker
+// bound applied when the config does not set its own.
+func trainConfig(base predictor.TrainConfig, workers int) predictor.TrainConfig {
+	if base.Workers == 0 {
+		base.Workers = workers
+	}
+	return base
 }
 
 // Quick is the smoke-test preset used by the `go test -bench` harness: a

@@ -9,6 +9,7 @@ package graphnn
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 
 	"predtop/internal/ag"
 	"predtop/internal/nn"
@@ -118,7 +119,7 @@ func NewDAGTransformer(rng *rand.Rand, cfg TransformerConfig) *DAGTransformer {
 		head:  nn.NewMLPHead(rng, "tran.head", cfg.Dim, cfg.HeadDim),
 	}
 	for i := 0; i < cfg.Layers; i++ {
-		name := "tran.l" + itoa(i)
+		name := "tran.l" + strconv.Itoa(i)
 		m.layers = append(m.layers, &tranLayer{
 			attn: nn.NewMultiHeadAttention(rng, name+".attn", cfg.Dim, cfg.Heads),
 			ln1:  nn.NewLayerNorm(name+".ln1", cfg.Dim),
@@ -199,7 +200,7 @@ func NewGCN(rng *rand.Rand, cfg GCNConfig) *GCN {
 	m := &GCN{cfg: cfg}
 	in := stage.FeatureDim
 	for i := 0; i < cfg.Layers; i++ {
-		m.layers = append(m.layers, nn.NewLinear(rng, "gcn.l"+itoa(i), in, cfg.Dim))
+		m.layers = append(m.layers, nn.NewLinear(rng, "gcn.l"+strconv.Itoa(i), in, cfg.Dim))
 		in = cfg.Dim
 	}
 	m.head = nn.NewMLPHead(rng, "gcn.head", cfg.Dim, cfg.Dim/2)
@@ -286,7 +287,7 @@ func NewGAT(rng *rand.Rand, cfg GATConfig) *GAT {
 	for i := 0; i < cfg.Layers; i++ {
 		l := &gatLayer{alpha: cfg.Alpha, headDim: hd, numHeads: cfg.Heads}
 		for h := 0; h < cfg.Heads; h++ {
-			name := "gat.l" + itoa(i) + ".h" + itoa(h)
+			name := "gat.l" + strconv.Itoa(i) + ".h" + strconv.Itoa(h)
 			l.w = append(l.w, nn.NewLinear(rng, name+".w", in, hd))
 			l.aSrc = append(l.aSrc, ag.NewParam(name+".as", tensor.RandUniform(rng, hd, 1, -0.3, 0.3)))
 			l.aDst = append(l.aDst, ag.NewParam(name+".ad", tensor.RandUniform(rng, hd, 1, -0.3, 0.3)))
@@ -332,11 +333,4 @@ func (m *GAT) Params() []*ag.Param {
 		}
 	}
 	return append(ps, m.head.Params()...)
-}
-
-func itoa(i int) string {
-	if i < 10 {
-		return string(rune('0' + i))
-	}
-	return string(rune('0'+i/10)) + string(rune('0'+i%10))
 }

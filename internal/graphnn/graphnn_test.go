@@ -2,6 +2,7 @@ package graphnn
 
 import (
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"predtop/internal/ag"
@@ -145,8 +146,30 @@ func TestParamCountsReasonable(t *testing.T) {
 	}
 }
 
-func TestItoa(t *testing.T) {
-	if itoa(7) != "7" || itoa(23) != "23" {
-		t.Fatalf("itoa: %q %q", itoa(7), itoa(23))
+// TestLayerNamesAllWidths guards the strconv-based layer naming: the old
+// hand-rolled itoa emitted garbage runes for indices ≥ 100 (e.g. ":0" for
+// layer 100), corrupting serialized parameter names of deep models.
+func TestLayerNamesAllWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewGCN(rng, GCNConfig{Layers: 124, Dim: 4})
+	names := map[string]bool{}
+	for _, p := range m.Params() {
+		names[p.Name] = true
+	}
+	if len(names) != 2*124+4 { // W+b per layer, 4 head params
+		t.Fatalf("duplicate or missing parameter names: %d distinct", len(names))
+	}
+	for _, idx := range []int{0, 9, 10, 99, 100, 123} {
+		want := "gcn.l" + strconv.Itoa(idx) + ".W"
+		if !names[want] {
+			t.Fatalf("missing parameter %q", want)
+		}
+	}
+	for name := range names {
+		for _, r := range name {
+			if r != '.' && r != '-' && !(r >= '0' && r <= '9') && !(r >= 'a' && r <= 'z') && !(r >= 'A' && r <= 'Z') {
+				t.Fatalf("garbage rune %q in parameter name %q", r, name)
+			}
+		}
 	}
 }

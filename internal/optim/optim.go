@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"predtop/internal/ag"
+	"predtop/internal/parallel"
 	"predtop/internal/tensor"
 )
 
@@ -55,6 +56,30 @@ func (a *Adam) Step(lr float64) {
 
 // StepCount returns the number of updates applied so far.
 func (a *Adam) StepCount() int { return a.step }
+
+// ReduceGrads folds per-shard gradient buffers into each Param.Grad with a
+// fixed-shape pairwise reduction tree over the buffer order. The summation
+// order is a pure function of len(bufs) — which data-parallel training
+// derives from the minibatch alone — so the reduced gradients are bitwise
+// identical no matter how many workers filled the buffers or how they were
+// scheduled. The buffers are used as reduction scratch; zero them before
+// the next accumulation pass.
+func ReduceGrads(params []*ag.Param, bufs []*ag.GradBuffer) {
+	if len(bufs) == 0 {
+		return
+	}
+	shards := make([]*tensor.Tensor, len(bufs))
+	for pi, p := range params {
+		for bi, b := range bufs {
+			shards[bi] = b.Grads()[pi]
+		}
+		total := parallel.TreeReduce(shards, func(a, b *tensor.Tensor) *tensor.Tensor {
+			tensor.AddInPlace(a, b)
+			return a
+		})
+		tensor.AddInPlace(p.Grad, total)
+	}
+}
 
 // ClipGradNorm scales all gradients so their global L2 norm is at most max.
 // It returns the pre-clip norm.

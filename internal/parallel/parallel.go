@@ -2,7 +2,10 @@
 //
 // All computationally heavy loops in this repository are expressed through
 // this package so they scale with GOMAXPROCS and degrade gracefully to a
-// plain serial loop on a single-core machine.
+// plain serial loop on a single-core machine. Reductions go through a
+// fixed-shape pairwise tree (TreeReduce) whose shape depends only on the
+// input length, so non-associative folds — floating-point sums above all —
+// are bitwise deterministic regardless of worker count or scheduling.
 package parallel
 
 import (
@@ -14,8 +17,17 @@ import (
 // For runs fn(i) for every i in [0, n), distributing iterations over up to
 // GOMAXPROCS goroutines. It returns once all iterations completed. For small
 // n or a single-core machine it runs serially with no goroutine overhead.
-func For(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+func For(n int, fn func(i int)) { ForLimit(n, 0, fn) }
+
+// ForLimit is For with an explicit worker count: workers <= 0 selects
+// GOMAXPROCS, workers == 1 runs serially on the calling goroutine, and any
+// larger count spawns that many goroutines (capped at n). A count above
+// GOMAXPROCS is honored — real goroutines still interleave on few cores,
+// which is exactly what race and determinism tests need.
+func ForLimit(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}
@@ -65,4 +77,73 @@ func Map[T any](n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	For(n, func(i int) { out[i] = fn(i) })
 	return out
+}
+
+// MapReduce computes mapFn(i) for every i in [0, n) in parallel (workers as
+// in ForLimit) and folds the results with TreeReduce. Because the fold shape
+// depends only on n — never on which goroutine produced which value — the
+// result is bitwise deterministic even for non-associative reduceFn such as
+// floating-point addition. n == 0 returns the zero value of T.
+func MapReduce[T any](n, workers int, mapFn func(i int) T, reduceFn func(a, b T) T) T {
+	if n == 0 {
+		var zero T
+		return zero
+	}
+	vals := make([]T, n)
+	ForLimit(n, workers, func(i int) { vals[i] = mapFn(i) })
+	return TreeReduce(vals, reduceFn)
+}
+
+// TreeReduce folds vals with a fixed-shape pairwise tree: adjacent pairs at
+// stride 1, then 2, 4, … The fold shape is a pure function of len(vals), so
+// non-associative reductions are deterministic across worker counts and
+// runs. The slice is used as scratch (vals[0] ends up holding the result);
+// callers that need the inputs afterwards must pass a copy. Reductions that
+// mutate their first argument in place (e.g. tensor accumulation) may simply
+// return it. Panics on an empty slice.
+func TreeReduce[T any](vals []T, reduceFn func(a, b T) T) T {
+	if len(vals) == 0 {
+		panic("parallel: TreeReduce of empty slice")
+	}
+	for stride := 1; stride < len(vals); stride *= 2 {
+		for i := 0; i+stride < len(vals); i += 2 * stride {
+			vals[i] = reduceFn(vals[i], vals[i+stride])
+		}
+	}
+	return vals[0]
+}
+
+// Pool is a free list of reusable worker scratch values (autodiff tapes,
+// temporary buffers). Unlike sync.Pool it never discards values under GC
+// pressure, so the steady-state allocation count of a loop that Gets and
+// Puts is zero once the pool has grown to the peak concurrency.
+type Pool[T any] struct {
+	mu   sync.Mutex
+	free []T
+	newT func() T
+}
+
+// NewPool returns a pool whose Get falls back to newT when empty.
+func NewPool[T any](newT func() T) *Pool[T] {
+	return &Pool[T]{newT: newT}
+}
+
+// Get removes and returns a pooled value, or makes a fresh one.
+func (p *Pool[T]) Get() T {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	return p.newT()
+}
+
+// Put returns a value to the pool for reuse.
+func (p *Pool[T]) Put(v T) {
+	p.mu.Lock()
+	p.free = append(p.free, v)
+	p.mu.Unlock()
 }

@@ -8,6 +8,7 @@ import (
 	"predtop/internal/ag"
 	"predtop/internal/graphnn"
 	"predtop/internal/optim"
+	"predtop/internal/parallel"
 	"predtop/internal/stage"
 	"predtop/internal/tensor"
 )
@@ -32,6 +33,11 @@ type TrainConfig struct {
 	Loss      Loss    // paper: MAE
 	Seed      int64
 	ClipNorm  float64 // gradient clipping (0 = paper default 5)
+	// Workers bounds the data-parallel goroutines of the minibatch and
+	// evaluation loops: 0 = GOMAXPROCS, 1 = serial. Any setting produces
+	// bitwise-identical results — sharding and gradient-reduction order
+	// depend only on the minibatch, never on the worker count.
+	Workers int
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -68,10 +74,20 @@ type Trained struct {
 }
 
 // Train fits model on ds.Samples[trainIdx], early-stopping on valIdx, and
-// restores the best-validation weights (§IV-B8).
+// restores the best-validation weights (§IV-B8). An empty trainIdx returns
+// the untouched model; an empty valIdx disables early stopping, keeps the
+// final-epoch weights, and reports the final training loss as BestValLoss.
+//
+// The minibatch loop is data-parallel: each sample of a batch runs its own
+// forward/backward tape into a private ag.GradBuffer shard, and the shards
+// are tree-reduced into the shared gradients in an order fixed by the batch
+// alone, so every cfg.Workers setting yields bitwise-identical weights.
 func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainConfig) (Trained, TrainResult) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
+	if len(trainIdx) == 0 {
+		return Trained{Model: model, Scale: 1}, TrainResult{Scale: 1, WallSeconds: time.Since(start).Seconds()}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Normalize labels so the output head operates near unit scale.
@@ -87,22 +103,36 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 	params := model.Params()
 	opt := optim.NewAdam(params)
 
+	// Forward-only tapes for evaluation, pooled across workers and epochs.
+	ctxPool := parallel.NewPool(ag.NewContext)
 	lossOf := func(idx []int) float64 {
-		total := 0.0
-		for _, i := range idx {
-			s := &ds.Samples[i]
-			ctx := ag.NewContext()
-			pred := model.Predict(ctx, s.Encoded)
-			diff := pred.Value().At(0, 0) - s.Measured/scale
-			if cfg.Loss == MSE {
-				total += diff * diff
-			} else {
-				total += math.Abs(diff)
-			}
+		if len(idx) == 0 {
+			return 0
 		}
+		total := parallel.MapReduce(len(idx), cfg.Workers, func(k int) float64 {
+			s := &ds.Samples[idx[k]]
+			ctx := ctxPool.Get()
+			ctx.Reset()
+			pred := model.Predict(ctx, s.Encoded).Value().At(0, 0)
+			ctxPool.Put(ctx)
+			diff := pred - s.Measured/scale
+			if cfg.Loss == MSE {
+				return diff * diff
+			}
+			return math.Abs(diff)
+		}, func(a, b float64) float64 { return a + b })
 		return total / float64(len(idx))
 	}
 
+	// One gradient shard per minibatch slot, each with a dedicated tape.
+	bufs := make([]*ag.GradBuffer, cfg.BatchSize)
+	tapes := make([]*ag.Context, cfg.BatchSize)
+	for i := range bufs {
+		bufs[i] = ag.NewGradBuffer(params)
+		tapes[i] = ag.NewContextInto(bufs[i])
+	}
+
+	useVal := len(valIdx) > 0
 	best := math.Inf(1)
 	bestParams := snapshot(params)
 	bad := 0
@@ -117,9 +147,12 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 			if hi > len(order) {
 				hi = len(order)
 			}
-			for _, i := range order[lo:hi] {
-				s := &ds.Samples[i]
-				ctx := ag.NewContext()
+			batch := order[lo:hi]
+			parallel.ForLimit(len(batch), cfg.Workers, func(k int) {
+				s := &ds.Samples[batch[k]]
+				ctx := tapes[k]
+				ctx.Reset()
+				bufs[k].Zero()
 				pred := model.Predict(ctx, s.Encoded)
 				target := tensor.Full(1, 1, s.Measured/scale)
 				var loss *ag.Node
@@ -129,13 +162,17 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 					loss = ctx.MAELoss(pred, target)
 				}
 				ctx.Backward(loss)
-			}
-			optim.ScaleGrads(params, 1/float64(hi-lo))
+			})
+			optim.ReduceGrads(params, bufs[:len(batch)])
+			optim.ScaleGrads(params, 1/float64(len(batch)))
 			optim.ClipGradNorm(params, cfg.ClipNorm)
 			opt.Step(lr)
 		}
 		res.EpochsRun = epoch + 1
 
+		if !useVal {
+			continue
+		}
 		val := lossOf(valIdx)
 		if val < best {
 			best = val
@@ -148,8 +185,12 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 			}
 		}
 	}
-	restore(params, bestParams)
-	res.BestValLoss = best
+	if useVal {
+		restore(params, bestParams)
+		res.BestValLoss = best
+	} else {
+		res.BestValLoss = lossOf(trainIdx)
+	}
 	res.WallSeconds = time.Since(start).Seconds()
 	return Trained{Model: model, Scale: scale}, res
 }
@@ -173,16 +214,16 @@ func (t Trained) PredictGraph(s *Sample) float64 {
 
 // MRE computes the mean relative error (Eqn 5, in percent) of the trained
 // model over the given sample indices, against the profiled ground truth.
+// Samples are evaluated in parallel; the error sum uses a fixed-order tree
+// reduction, so the result does not depend on GOMAXPROCS.
 func (t Trained) MRE(ds *Dataset, idx []int) float64 {
 	if len(idx) == 0 {
 		return 0
 	}
-	total := 0.0
-	for _, i := range idx {
-		s := &ds.Samples[i]
-		pred := t.PredictGraph(s)
-		total += math.Abs(pred-s.Measured) / s.Measured
-	}
+	total := parallel.MapReduce(len(idx), 0, func(k int) float64 {
+		s := &ds.Samples[idx[k]]
+		return math.Abs(t.PredictGraph(s)-s.Measured) / s.Measured
+	}, func(a, b float64) float64 { return a + b })
 	return total / float64(len(idx)) * 100
 }
 

@@ -1,0 +1,112 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"predtop/internal/graphnn"
+)
+
+func buildArch(name string, seed int64) graphnn.Model {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "Tran":
+		return graphnn.NewDAGTransformer(rng, graphnn.TransformerConfig{Layers: 1, Dim: 16, Heads: 2, FFNDim: 32})
+	case "GCN":
+		return graphnn.NewGCN(rng, graphnn.GCNConfig{Layers: 2, Dim: 16})
+	case "GAT":
+		return graphnn.NewGAT(rng, graphnn.GATConfig{Layers: 1, Dim: 8, Heads: 2})
+	}
+	panic("unknown arch " + name)
+}
+
+// TestParallelTrainingBitwiseDeterministic is the tentpole guarantee: the
+// same seeds trained with 1 worker and with many workers must produce
+// bitwise-identical weights, loss, and predictions for every architecture.
+// Not skipped in -short mode so `go test -race -short` exercises the
+// concurrent training path.
+func TestParallelTrainingBitwiseDeterministic(t *testing.T) {
+	_, ds := smallDataset(t, 12)
+	n := len(ds.Samples)
+	trainIdx := make([]int, 0, n*2/3)
+	valIdx := make([]int, 0, n/3)
+	for i := 0; i < n; i++ {
+		if i%3 == 2 {
+			valIdx = append(valIdx, i)
+		} else {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+
+	for _, arch := range []string{"Tran", "GCN", "GAT"} {
+		t.Run(arch, func(t *testing.T) {
+			run := func(workers int) (Trained, TrainResult) {
+				return Train(buildArch(arch, 42), ds, trainIdx, valIdx, TrainConfig{
+					Epochs: 3, Patience: 3, BatchSize: 5, Seed: 13, Workers: workers,
+				})
+			}
+			ref, refRes := run(1)
+			for _, workers := range []int{4, 7} {
+				got, gotRes := run(workers)
+				if math.Float64bits(gotRes.BestValLoss) != math.Float64bits(refRes.BestValLoss) {
+					t.Fatalf("workers=%d BestValLoss %v != %v", workers, gotRes.BestValLoss, refRes.BestValLoss)
+				}
+				if gotRes.EpochsRun != refRes.EpochsRun {
+					t.Fatalf("workers=%d EpochsRun %d != %d", workers, gotRes.EpochsRun, refRes.EpochsRun)
+				}
+				refP, gotP := ref.Model.Params(), got.Model.Params()
+				if len(refP) != len(gotP) {
+					t.Fatalf("param count mismatch")
+				}
+				for i := range refP {
+					for j := range refP[i].V.Data {
+						a, b := refP[i].V.Data[j], gotP[i].V.Data[j]
+						if math.Float64bits(a) != math.Float64bits(b) {
+							t.Fatalf("workers=%d param %s[%d]: %x != %x",
+								workers, refP[i].Name, j, math.Float64bits(a), math.Float64bits(b))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTrainEmptyValSet guards the NaN regression: with no validation
+// samples, training must run to completion, report a finite train-set loss
+// as BestValLoss, and keep the final (not zero-initialized best) weights.
+func TestTrainEmptyValSet(t *testing.T) {
+	_, ds := smallDataset(t, 10)
+	trainIdx := make([]int, len(ds.Samples))
+	for i := range trainIdx {
+		trainIdx[i] = i
+	}
+	trained, res := Train(buildArch("GCN", 5), ds, trainIdx, nil, TrainConfig{
+		Epochs: 2, Patience: 1, BatchSize: 4, Seed: 9,
+	})
+	if math.IsNaN(res.BestValLoss) || math.IsInf(res.BestValLoss, 0) {
+		t.Fatalf("BestValLoss not finite: %v", res.BestValLoss)
+	}
+	if res.EpochsRun != 2 {
+		t.Fatalf("empty val set must disable early stopping: ran %d epochs", res.EpochsRun)
+	}
+	mre := trained.MRE(ds, trainIdx)
+	if math.IsNaN(mre) || math.IsInf(mre, 0) {
+		t.Fatalf("trained model unusable: MRE %v", mre)
+	}
+}
+
+// TestTrainEmptyTrainSet: degenerate input must not panic or divide by zero.
+func TestTrainEmptyTrainSet(t *testing.T) {
+	_, ds := smallDataset(t, 6)
+	trained, res := Train(buildArch("GCN", 5), ds, nil, nil, TrainConfig{
+		Epochs: 2, BatchSize: 4, Seed: 9,
+	})
+	if res.EpochsRun != 0 {
+		t.Fatalf("trained on nothing for %d epochs", res.EpochsRun)
+	}
+	if trained.Scale != 1 {
+		t.Fatalf("degenerate scale %v", trained.Scale)
+	}
+}

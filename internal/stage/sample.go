@@ -49,7 +49,11 @@ func SampleSpecs(rng *rand.Rand, numSegments, count, maxLen int) []Spec {
 			maxL = s.Len()
 		}
 	}
-	for _, specs := range byLen {
+	// Shuffle groups in ascending-length order: ranging over the map here
+	// would consume RNG draws in a run-dependent order, making the sampled
+	// set irreproducible for a fixed seed.
+	for l := 1; l <= maxL; l++ {
+		specs := byLen[l]
 		rng.Shuffle(len(specs), func(i, j int) { specs[i], specs[j] = specs[j], specs[i] })
 	}
 	var out []Spec
