@@ -15,11 +15,15 @@ test:
 	$(GO) test ./...
 
 # The race pass runs in -short mode: it still exercises the concurrent
-# training, reduction, and experiment paths (the determinism tests are not
-# short-skipped), but drops the slow grid regenerations.
+# training, reduction, and experiment paths — including the hook-instrumented
+# training tests (TestTrainHooksAndHistory and the hooked rows of the
+# bitwise-determinism table) — but drops the slow grid regenerations.
 race:
 	$(GO) test -race -short ./internal/...
 
 # Paper-artifact benchmarks at the quick preset; one iteration each.
+# `make bench` also archives the run as a timestamped BENCH_<date>.json
+# (go test -json event stream) for cross-commit comparison.
+BENCH_FILE := BENCH_$(shell date +%Y-%m-%d).json
 bench:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' -json . | tee $(BENCH_FILE)

@@ -6,6 +6,13 @@
 //
 //	predtop-eval [-preset quick|paper] [-bench GPT-3|MoE|all]
 //	             [-platform 1|2|0] [-fig3frac 50] [-out results.txt]
+//	             [-metrics run.jsonl] [-trace run.json] [-quiet]
+//
+// -metrics streams JSONL records (run config, one record per grid cell, a
+// final metrics snapshot); -trace writes a Chrome-tracing JSON timeline of
+// the grid runs, loadable in Perfetto; -quiet silences the per-cell progress
+// on stderr (the report itself still prints). All three observe only — the
+// tables are bitwise identical with or without them.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"predtop/internal/cluster"
 	"predtop/internal/experiments"
+	"predtop/internal/obs"
 )
 
 func main() {
@@ -29,6 +37,9 @@ func main() {
 	tables := flag.Bool("tables", true, "run the MRE tables (disable for -ablate only)")
 	workers := flag.Int("workers", 0, "worker goroutines for grid cells and training (0 = all cores, 1 = serial; results are bitwise identical)")
 	out := flag.String("out", "", "also write the report to this file")
+	metricsPath := flag.String("metrics", "", "write JSONL run records and a metrics snapshot to this file")
+	tracePath := flag.String("trace", "", "write a Chrome-tracing (Perfetto) JSON file to this path")
+	quiet := flag.Bool("quiet", false, "suppress per-cell progress on stderr (the report still prints)")
 	flag.Parse()
 
 	var p experiments.Preset
@@ -43,6 +54,34 @@ func main() {
 		log.Fatalf("unknown preset %q", *presetName)
 	}
 	p.Workers = *workers
+
+	var sink *obs.Sink
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		sink = obs.NewSink(f)
+		reg = obs.NewRegistry()
+	}
+	var tb *obs.TraceBuilder
+	if *tracePath != "" {
+		tb = obs.NewTrace()
+	}
+	if sink != nil || tb != nil {
+		p.Obs = &obs.Observer{Metrics: reg, Events: sink, Trace: tb}
+	}
+	progress := obs.NewLogger(os.Stderr, *quiet).Writer()
+	sink.Emit(struct {
+		Event    string `json:"event"`
+		Tool     string `json:"tool"`
+		Preset   string `json:"preset"`
+		Bench    string `json:"bench"`
+		Platform int    `json:"platform"`
+		Workers  int    `json:"workers"`
+	}{"run", "predtop-eval", p.Name, *bench, *platformSel, *workers})
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -76,7 +115,7 @@ func main() {
 				tableName = "Table VI"
 			}
 			fmt.Fprintf(w, "=== %s — %s on %s (preset %s) ===\n", tableName, b.Name, plat.Name, p.Name)
-			t := experiments.RunMRETable(p, b, plat, os.Stderr)
+			t := experiments.RunMRETable(p, b, plat, progress)
 			fmt.Fprint(w, t.Render())
 			fmt.Fprintf(w, "DAG Transformer wins %.1f%% of cells\n\n", t.WinRate(2)*100)
 			mreTables = append(mreTables, t)
@@ -95,8 +134,18 @@ func main() {
 			if *bench != "all" && !strings.EqualFold(*bench, b.Name) {
 				continue
 			}
-			rows := experiments.RunAblation(p, b, cluster.Platform1(), 0.5, os.Stderr)
+			rows := experiments.RunAblation(p, b, cluster.Platform1(), 0.5, progress)
 			fmt.Fprintln(w, experiments.RenderAblation(b.Name, rows))
+		}
+	}
+
+	sink.EmitMetrics(reg)
+	if err := sink.Err(); err != nil {
+		log.Fatalf("writing %s: %v", *metricsPath, err)
+	}
+	if *tracePath != "" {
+		if err := tb.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
 		}
 	}
 }

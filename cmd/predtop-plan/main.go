@@ -7,6 +7,14 @@
 // Usage:
 //
 //	predtop-plan [-preset quick|paper] [-bench GPT-3|MoE|all] [-out results.txt]
+//	             [-metrics run.jsonl] [-trace run.json] [-quiet]
+//
+// -metrics streams JSONL records (run config, one plan_run record per
+// planner version, a final metrics snapshot); -trace writes a Chrome-tracing
+// JSON timeline — optimize/evaluate spans per planner version plus the
+// simulated 1F1B schedule of each feasible plan — loadable in Perfetto;
+// -quiet silences the per-run progress on stderr (the report still prints).
+// All three observe only — plans are bitwise identical with or without them.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"strings"
 
 	"predtop/internal/experiments"
+	"predtop/internal/obs"
 )
 
 func main() {
@@ -25,6 +34,9 @@ func main() {
 	bench := flag.String("bench", "all", "benchmark: GPT-3, MoE, or all")
 	workers := flag.Int("workers", 0, "worker goroutines for planner runs and training (0 = all cores, 1 = serial; results are bitwise identical)")
 	out := flag.String("out", "", "also write the report to this file")
+	metricsPath := flag.String("metrics", "", "write JSONL run records and a metrics snapshot to this file")
+	tracePath := flag.String("trace", "", "write a Chrome-tracing (Perfetto) JSON file to this path")
+	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr (the report still prints)")
 	flag.Parse()
 
 	var p experiments.Preset
@@ -40,6 +52,33 @@ func main() {
 	}
 	p.Workers = *workers
 
+	var sink *obs.Sink
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		sink = obs.NewSink(f)
+		reg = obs.NewRegistry()
+	}
+	var tb *obs.TraceBuilder
+	if *tracePath != "" {
+		tb = obs.NewTrace()
+	}
+	if sink != nil || tb != nil {
+		p.Obs = &obs.Observer{Metrics: reg, Events: sink, Trace: tb}
+	}
+	progress := obs.NewLogger(os.Stderr, *quiet).Writer()
+	sink.Emit(struct {
+		Event   string `json:"event"`
+		Tool    string `json:"tool"`
+		Preset  string `json:"preset"`
+		Bench   string `json:"bench"`
+		Workers int    `json:"workers"`
+	}{"run", "predtop-plan", p.Name, *bench, *workers})
+
 	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -54,7 +93,17 @@ func main() {
 		if *bench != "all" && !strings.EqualFold(*bench, b.Name) {
 			continue
 		}
-		runs := experiments.RunFig10(p, b, os.Stderr)
+		runs := experiments.RunFig10(p, b, progress)
 		fmt.Fprintln(w, experiments.RenderFig10(b.Name, runs))
+	}
+
+	sink.EmitMetrics(reg)
+	if err := sink.Err(); err != nil {
+		log.Fatalf("writing %s: %v", *metricsPath, err)
+	}
+	if *tracePath != "" {
+		if err := tb.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

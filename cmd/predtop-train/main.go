@@ -5,7 +5,14 @@
 // Usage:
 //
 //	predtop-train -bench GPT-3 -platform 2 -mesh 1 -conf 1 -arch tran \
-//	              -layers 12 -samples 0 -maxlen 3 -epochs 30 -o model.predtop
+//	              -layers 12 -samples 0 -maxlen 3 -epochs 30 -o model.predtop \
+//	              [-metrics run.jsonl] [-trace run.json] [-quiet]
+//
+// -metrics streams JSONL records (run config, one record per epoch, a final
+// summary, and a metrics snapshot); -trace writes a Chrome-tracing JSON file
+// (profile/train/evaluate phases plus one slice per training epoch) loadable
+// in Perfetto; -quiet suppresses progress lines. All three observe only —
+// trained weights are bitwise identical with or without them.
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"strings"
 
 	"predtop"
@@ -32,7 +40,27 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "data-parallel training workers (0 = all cores, 1 = serial; results are bitwise identical)")
 	out := flag.String("o", "model.predtop", "output model path")
+	metricsPath := flag.String("metrics", "", "write JSONL run records and a metrics snapshot to this file")
+	tracePath := flag.String("trace", "", "write a Chrome-tracing (Perfetto) JSON file to this path")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
+
+	lg := predtop.NewProgressLogger(os.Stdout, *quiet)
+	var sink *predtop.EventSink
+	var reg *predtop.MetricsRegistry
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		sink = predtop.NewEventSink(f)
+		reg = predtop.NewMetricsRegistry()
+	}
+	var tb *predtop.TraceBuilder
+	if *tracePath != "" {
+		tb = predtop.NewTrace()
+	}
 
 	cfg := predtop.GPT3Config()
 	if strings.EqualFold(*bench, "MoE") {
@@ -58,11 +86,27 @@ func main() {
 		log.Fatalf("no scenario mesh=%d conf=%d on platform %d", *meshIdx, *confIdx, *platformSel)
 	}
 
+	sink.Emit(struct {
+		Event    string `json:"event"`
+		Tool     string `json:"tool"`
+		Bench    string `json:"bench"`
+		Platform int    `json:"platform"`
+		Mesh     int    `json:"mesh"`
+		Conf     int    `json:"conf"`
+		Arch     string `json:"arch"`
+		MaxLen   int    `json:"maxlen"`
+		Epochs   int    `json:"epochs"`
+		Seed     int64  `json:"seed"`
+		Workers  int    `json:"workers"`
+	}{"run", "predtop-train", cfg.Name, *platformSel, *meshIdx, *confIdx, *arch, *maxLen, *epochs, *seed, *workers})
+
 	rng := rand.New(rand.NewSource(*seed))
+	profSpan := tb.Begin("phases", "profile")
 	specs := predtop.SampleStages(model, rng, *samples, *maxLen)
 	enc := predtop.NewEncoder(model, true)
 	ds := predtop.BuildDataset(enc, specs, scenario, predtop.DefaultProfiler())
-	fmt.Printf("profiled %d stages of %s under %v\n", len(ds.Samples), cfg.Name, scenario)
+	profSpan.End()
+	lg.Printf("profiled %d stages of %s under %v", len(ds.Samples), cfg.Name, scenario)
 
 	var net predtop.PredictorModel
 	switch strings.ToLower(*arch) {
@@ -76,16 +120,75 @@ func main() {
 		log.Fatalf("unknown architecture %q", *arch)
 	}
 
+	// Epoch slices carry cumulative wall offsets from the start of training,
+	// anchored at the trace's wall-clock position so they align with the
+	// Begin/End phase spans.
+	trainStart := tb.Since()
+	prevWall := 0.0
+	hooks := &predtop.TrainHooks{
+		Metrics: reg,
+		OnEpoch: func(e predtop.EpochStats) {
+			sink.Emit(struct {
+				Event string `json:"event"`
+				predtop.EpochStats
+			}{"epoch", e})
+			tb.Slice("epochs", fmt.Sprintf("epoch %d", e.Epoch), trainStart+prevWall, e.WallSeconds-prevWall)
+			prevWall = e.WallSeconds
+		},
+		OnEarlyStop: func(epoch int) {
+			tb.Instant("epochs", "early stop")
+			sink.Emit(struct {
+				Event string `json:"event"`
+				Epoch int    `json:"epoch"`
+			}{"early_stop", epoch})
+			lg.Printf("early stop at epoch %d", epoch)
+		},
+		OnRestore: func(bestEpoch int, bestValLoss float64) {
+			sink.Emit(struct {
+				Event       string  `json:"event"`
+				BestEpoch   int     `json:"best_epoch"`
+				BestValLoss float64 `json:"best_val_loss"`
+			}{"restore", bestEpoch, bestValLoss})
+		},
+	}
+
 	train, val, test := predtop.Split(rng, len(ds.Samples), *trainFrac, 0.1)
+	trainSpan := tb.Begin("phases", "train")
 	trained, res := predtop.Train(net, ds, train, val, predtop.TrainConfig{
 		Epochs: *epochs, Patience: *epochs / 3, BatchSize: 4, Seed: *seed, Workers: *workers,
+		Hooks: hooks,
 	})
-	fmt.Printf("trained %s for %d epochs (best val %.4f) in %.1fs\n",
-		net.Name(), res.EpochsRun, res.BestValLoss, res.WallSeconds)
-	fmt.Printf("test MRE: %.2f%% over %d held-out stages\n", trained.MRE(ds, test), len(test))
+	trainSpan.End()
+	lg.Printf("trained %s for %d epochs (best val %.4f at epoch %d) in %.1fs",
+		net.Name(), res.EpochsRun, res.BestValLoss, res.BestEpoch, res.WallSeconds)
+
+	evalSpan := tb.Begin("phases", "evaluate")
+	mre := trained.MRE(ds, test)
+	evalSpan.End()
+	lg.Printf("test MRE: %.2f%% over %d held-out stages", mre, len(test))
+
+	sink.Emit(struct {
+		Event       string  `json:"event"`
+		EpochsRun   int     `json:"epochs_run"`
+		BestEpoch   int     `json:"best_epoch"`
+		BestValLoss float64 `json:"best_val_loss"`
+		WallSeconds float64 `json:"wall_s"`
+		TestMRE     float64 `json:"test_mre_pct"`
+		TestStages  int     `json:"test_stages"`
+	}{"summary", res.EpochsRun, res.BestEpoch, res.BestValLoss, res.WallSeconds, mre, len(test)})
+	sink.EmitMetrics(reg)
+	if err := sink.Err(); err != nil {
+		log.Fatalf("writing %s: %v", *metricsPath, err)
+	}
+	if *tracePath != "" {
+		if err := tb.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+		lg.Printf("wrote trace to %s", *tracePath)
+	}
 
 	if err := predtop.SaveTrained(*out, trained); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("saved model to %s\n", *out)
+	lg.Printf("saved model to %s", *out)
 }

@@ -8,6 +8,7 @@ import (
 	"predtop/internal/cluster"
 	"predtop/internal/models"
 	"predtop/internal/parallel"
+	"predtop/internal/pipeline"
 	"predtop/internal/planner"
 	"predtop/internal/sim"
 )
@@ -43,7 +44,8 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 	}
 	mdl := models.Build(cfg)
 	prof := sim.DefaultProfiler()
-	opts := planner.Options{Microbatches: p.Microbatches, MaxStageLen: maxLen}
+	prof.Metrics = p.Obs.Registry()
+	opts := planner.Options{Microbatches: p.Microbatches, MaxStageLen: maxLen, Metrics: p.Obs.Registry()}
 
 	// Each planner version owns its latency source and cost meter, so the
 	// five runs are independent and execute concurrently (p.Workers bound);
@@ -79,27 +81,69 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 
 	out := make([]PlanRun, len(specs))
 	logs := make([]string, len(specs))
+	stageLats := make([][]float64, len(specs))
 	parallel.ForLimit(len(specs), p.Workers, func(i int) {
 		sp := specs[i]
-		plan, ok := planner.Optimize(mdl.NumSegments(), platform, sp.latFn, opts)
+		track := fmt.Sprintf("fig10 %s %s", bench.Name, sp.version)
+		latFn := planner.InstrumentLatencyFn(sp.latFn, p.Obs.Registry())
+		optSpan := p.Obs.Tracer().Begin(track, "optimize")
+		plan, ok := planner.Optimize(mdl.NumSegments(), platform, latFn, opts)
+		optSpan.End()
 		run := PlanRun{Version: sp.version, Meter: *sp.meter, OptimizeSeconds: sp.meter.Total(), OK: ok}
 		if ok {
 			run.Stages = plan.NumStages()
-			if lat, evalOK := planner.EvaluatePlan(mdl, plan, p.Microbatches); evalOK {
-				run.IterationLatency = lat
+			evalSpan := p.Obs.Tracer().Begin(track, "evaluate")
+			if lats, evalOK := planner.StageLatencies(mdl, plan); evalOK {
+				run.IterationLatency = pipeline.Latency(lats, p.Microbatches)
+				stageLats[i] = lats
 			} else {
 				run.OK = false
 			}
+			evalSpan.End()
 		}
-		logs[i] = fmt.Sprintf("[fig10 %s] %-13s opt %.0fs (profile %.0fs train %.0fs infer %.0fs, %d profiles) iter %.3fs stages %d\n",
+		logs[i] = fmt.Sprintf("[fig10 %s] %-13s opt %.0fs (profile %.0fs train %.0fs infer %.0fs, %d profiles, cache %d/%d) iter %.3fs stages %d\n",
 			bench.Name, sp.version, run.OptimizeSeconds, sp.meter.ProfileSeconds, sp.meter.TrainSeconds,
-			sp.meter.InferSeconds, sp.meter.StagesProfiled, run.IterationLatency, run.Stages)
+			sp.meter.InferSeconds, sp.meter.StagesProfiled, sp.meter.CacheHits, sp.meter.CacheHits+sp.meter.CacheMisses,
+			run.IterationLatency, run.Stages)
 		out[i] = run
 	})
-	for _, line := range logs {
+	for i, line := range logs {
 		io.WriteString(log, line)
+		r := out[i]
+		p.Obs.Sink().Emit(planRunRecord{
+			Event: "plan_run", Bench: bench.Name, Version: r.Version,
+			OptimizeSeconds: r.OptimizeSeconds, ProfileSeconds: r.Meter.ProfileSeconds,
+			TrainSeconds: r.Meter.TrainSeconds, InferSeconds: r.Meter.InferSeconds,
+			StagesProfiled: r.Meter.StagesProfiled,
+			CacheHits:      r.Meter.CacheHits, CacheMisses: r.Meter.CacheMisses,
+			IterationLatency: r.IterationLatency, Stages: r.Stages, OK: r.OK,
+		})
+		// Render each feasible plan's simulated 1F1B schedule as its own set
+		// of trace tracks so plan shapes are comparable side by side.
+		if r.OK && stageLats[i] != nil {
+			if err := pipeline.AddSchedule(p.Obs.Tracer(), fmt.Sprintf("%s %s ", bench.Name, r.Version), stageLats[i], p.Microbatches); err != nil {
+				fmt.Fprintf(log, "[fig10 %s] %s schedule trace: %v\n", bench.Name, r.Version, err)
+			}
+		}
 	}
 	return out
+}
+
+// planRunRecord is the JSONL record emitted per Fig-10 planner run.
+type planRunRecord struct {
+	Event            string  `json:"event"`
+	Bench            string  `json:"bench"`
+	Version          string  `json:"version"`
+	OptimizeSeconds  float64 `json:"optimize_s"`
+	ProfileSeconds   float64 `json:"profile_s"`
+	TrainSeconds     float64 `json:"train_s"`
+	InferSeconds     float64 `json:"infer_s"`
+	StagesProfiled   int     `json:"stages_profiled"`
+	CacheHits        int     `json:"cache_hits"`
+	CacheMisses      int     `json:"cache_misses"`
+	IterationLatency float64 `json:"iteration_latency_s"`
+	Stages           int     `json:"stages"`
+	OK               bool    `json:"ok"`
 }
 
 // RenderFig10 prints both panels: optimization cost (10a) and the iteration

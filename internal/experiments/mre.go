@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
 	"predtop/internal/cluster"
 	"predtop/internal/graphnn"
@@ -65,7 +66,9 @@ func RunMRETable(p Preset, bench Benchmark, platform cluster.Platform, log io.Wr
 	specs := predictor.CollectStages(mdl, rng, bench.Stages, bench.MaxLen)
 	enc := predictor.NewEncoder(mdl, true)
 	prof := sim.DefaultProfiler()
+	prof.Metrics = p.Obs.Registry()
 	scenarios := cluster.Scenarios(platform)
+	gridTrack := fmt.Sprintf("grid %s %s", bench.Name, platform.Name)
 
 	t := &MRETable{
 		Benchmark: bench.Name,
@@ -83,10 +86,12 @@ func RunMRETable(p Preset, bench Benchmark, platform cluster.Platform, log io.Wr
 
 	// Profiling is seeded per (stage, scenario), so concurrent dataset
 	// construction yields the exact samples a serial sweep would.
+	profSpan := p.Obs.Tracer().Begin(gridTrack, "profile")
 	datasets := make([]*predictor.Dataset, len(scenarios))
 	parallel.ForLimit(len(scenarios), p.Workers, func(si int) {
 		datasets[si] = predictor.BuildDataset(enc, specs, scenarios[si], prof)
 	})
+	profSpan.End()
 	for si, sc := range scenarios {
 		fmt.Fprintf(log, "[%s %s %v] %d stages profiled\n", bench.Name, platform.Name, sc, len(datasets[si].Samples))
 	}
@@ -100,9 +105,14 @@ func RunMRETable(p Preset, bench Benchmark, platform cluster.Platform, log io.Wr
 			}
 		}
 	}
+	reg := p.Obs.Registry()
+	cellHist := reg.Histogram("grid_cell_seconds", nil)
+	cellCtr := reg.Counter("grid_cells_total")
+	gridSpan := p.Obs.Tracer().Begin(gridTrack, "train cells")
 	logs := make([]string, len(cells))
 	parallel.ForLimit(len(cells), p.Workers, func(ci int) {
 		c := cells[ci]
+		cellStart := time.Now()
 		ds := datasets[c.si]
 		splitRng := rand.New(rand.NewSource(p.Seed*1000 + int64(c.fi*100+c.si)))
 		train, val, test := stage.Split(splitRng, len(ds.Samples), float64(p.Fractions[c.fi])/100, p.ValFrac)
@@ -112,13 +122,41 @@ func RunMRETable(p Preset, bench Benchmark, platform cluster.Platform, log io.Wr
 		trained, res := predictor.Train(model, ds, train, val, cfg)
 		mre := trained.MRE(ds, test)
 		t.MRE[c.fi][c.si][c.mi] = mre
+		wall := time.Since(cellStart).Seconds()
+		cellHist.Observe(wall)
+		cellCtr.Inc()
+		p.Obs.Sink().Emit(gridCellRecord{
+			Event: "grid_cell", Benchmark: bench.Name, Platform: platform.Name,
+			Mesh: scenarios[c.si].Mesh.Index, Config: scenarios[c.si].Config.Index,
+			Fraction: p.Fractions[c.fi], Model: ModelNames[c.mi],
+			MRE: mre, Epochs: res.EpochsRun, BestEpoch: res.BestEpoch,
+			TrainWallS: res.WallSeconds, CellWallS: wall,
+		})
 		logs[ci] = fmt.Sprintf("  [%s %v] frac %d%% %s: MRE %.2f%% (%d epochs, %.1fs)\n",
 			bench.Name, scenarios[c.si], p.Fractions[c.fi], ModelNames[c.mi], mre, res.EpochsRun, res.WallSeconds)
 	})
+	gridSpan.End()
 	for _, line := range logs {
 		io.WriteString(log, line)
 	}
 	return t
+}
+
+// gridCellRecord is the JSONL record emitted per MRE-grid cell (one trained
+// predictor at one scenario and training fraction).
+type gridCellRecord struct {
+	Event      string  `json:"event"`
+	Benchmark  string  `json:"bench"`
+	Platform   string  `json:"platform"`
+	Mesh       int     `json:"mesh"`
+	Config     int     `json:"config"`
+	Fraction   int     `json:"fraction"`
+	Model      string  `json:"model"`
+	MRE        float64 `json:"mre"`
+	Epochs     int     `json:"epochs"`
+	BestEpoch  int     `json:"best_epoch"`
+	TrainWallS float64 `json:"train_wall_s"`
+	CellWallS  float64 `json:"cell_wall_s"`
 }
 
 // Render prints the grid in the layout of Tables V/VI: one row per training

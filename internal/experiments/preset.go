@@ -8,6 +8,7 @@ package experiments
 import (
 	"predtop/internal/graphnn"
 	"predtop/internal/models"
+	"predtop/internal/obs"
 	"predtop/internal/predictor"
 )
 
@@ -62,6 +63,13 @@ type Preset struct {
 	// bitwise identical for any setting: every cell carries its own seeded
 	// RNG and gradient reduction runs in a fixed order.
 	Workers int
+
+	// Obs, when non-nil, receives harness observability: per-cell grid
+	// timings (grid_cell_seconds histogram, grid_cells_total counter, one
+	// JSONL grid_cell record per cell), Fig-10 planner metrics and trace
+	// spans. Purely observational — tables and plans are bitwise identical
+	// with or without it.
+	Obs *obs.Observer
 }
 
 // trainConfig returns the preset's TrainConfig with the harness worker

@@ -1,0 +1,284 @@
+// Package obs is the repository's observability layer: a metrics registry
+// (counters, gauges, fixed-bucket histograms), a structured JSONL event sink,
+// and a Chrome-tracing (Perfetto) trace builder. Every long-running path —
+// predictor training, planner search, experiment grids, pipeline simulation —
+// reports through this package instead of ad-hoc prints.
+//
+// The central contract is that observation is free when disabled and passive
+// when enabled:
+//
+//   - Every method is nil-safe. A nil *Registry hands out nil instruments,
+//     and a nil *Counter/*Gauge/*Histogram/*Sink/*TraceBuilder/*Logger is a
+//     no-op — zero allocations, zero time.Now calls — so hot loops are
+//     instrumented unconditionally and pay nothing unless a caller opted in.
+//   - Instruments only observe. They never feed back into computation, so
+//     the bitwise-determinism guarantee of the training engine (DESIGN.md §6)
+//     is preserved with observability on or off.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a process-local metrics namespace. Instruments are created on
+// first use and shared by name afterwards; all instruments are safe for
+// concurrent use. The zero *Registry (nil) disables everything.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed. A nil registry
+// returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds (ascending; nil or empty selects DefBuckets). Bounds are fixed
+// at creation — later calls with different bounds return the existing
+// instrument. A nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = DefBuckets
+		}
+		h = &Histogram{bounds: append([]float64(nil), bounds...)}
+		h.counts = make([]atomic.Int64, len(h.bounds)+1)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one. No-op on nil.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. No-op on nil.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set records v. No-op on nil.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last set value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets: counts[i] holds
+// observations v ≤ bounds[i] (first matching bucket), and the final slot
+// holds the overflow beyond the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomicFloat
+}
+
+// Observe records v. No-op on nil; allocation-free otherwise.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Start begins a wall-clock timer whose Stop observes elapsed seconds into
+// the histogram. On a nil histogram the timer is inert and Start/Stop cost
+// nothing (not even a time.Now call).
+func (h *Histogram) Start() Timer {
+	if h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// Timer is an in-flight histogram timing (see Histogram.Start).
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Stop observes the elapsed seconds and returns them (0 on an inert timer).
+func (t Timer) Stop() float64 {
+	if t.h == nil {
+		return 0
+	}
+	s := time.Since(t.start).Seconds()
+	t.h.Observe(s)
+	return s
+}
+
+// atomicFloat is a lock-free accumulating float64.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// DefBuckets is the default latency bucket ladder: 1 µs to ~67 s in powers
+// of four, wide enough for both per-batch timings and whole-grid runs.
+var DefBuckets = ExpBuckets(1e-6, 4, 14)
+
+// ExpBuckets returns n exponential bucket bounds lo, lo·factor, lo·factor², …
+func ExpBuckets(lo, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// BucketCount is one histogram bucket in a snapshot: the count of
+// observations at or below the upper bound LE (cumulative counts are left to
+// consumers).
+type BucketCount struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Metric is a point-in-time export of one instrument, JSONL-friendly (no
+// ±Inf anywhere: overflow beyond the last histogram bound is a separate
+// field).
+type Metric struct {
+	Name     string        `json:"name"`
+	Kind     string        `json:"kind"` // "counter", "gauge", or "histogram"
+	Value    float64       `json:"value,omitempty"`
+	Count    int64         `json:"count,omitempty"`
+	Sum      float64       `json:"sum,omitempty"`
+	Buckets  []BucketCount `json:"buckets,omitempty"`
+	Overflow int64         `json:"overflow,omitempty"`
+}
+
+// Snapshot exports every instrument, sorted by name (nil registry → nil).
+// Concurrent observations during a snapshot may land in either side; each
+// individual instrument read is atomic.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.histograms {
+		m := Metric{Name: name, Kind: "histogram", Count: h.Count(), Sum: h.Sum()}
+		for i, b := range h.bounds {
+			if n := h.counts[i].Load(); n > 0 {
+				m.Buckets = append(m.Buckets, BucketCount{LE: b, Count: n})
+			}
+		}
+		m.Overflow = h.counts[len(h.bounds)].Load()
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

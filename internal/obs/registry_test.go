@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d", c.Value())
+	}
+	if r.Counter("c") != c {
+		t.Fatal("counter not shared by name")
+	}
+
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge %v", g.Value())
+	}
+
+	h := r.Histogram("h", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 5, 50, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("hist count %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5060.5) > 1e-9 {
+		t.Fatalf("hist sum %v", h.Sum())
+	}
+	var m Metric
+	for _, s := range r.Snapshot() {
+		if s.Name == "h" {
+			m = s
+		}
+	}
+	want := map[float64]int64{1: 1, 10: 2, 100: 1}
+	for _, b := range m.Buckets {
+		if want[b.LE] != b.Count {
+			t.Fatalf("bucket le=%v count=%d", b.LE, b.Count)
+		}
+		delete(want, b.LE)
+	}
+	if len(want) != 0 || m.Overflow != 1 {
+		t.Fatalf("buckets %+v overflow %d", m.Buckets, m.Overflow)
+	}
+}
+
+func TestSnapshotSortedAndKinds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_count").Inc()
+	r.Gauge("a_gauge").Set(1)
+	r.Histogram("m_hist", nil).Observe(0.01)
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot size %d", len(snap))
+	}
+	names := []string{snap[0].Name, snap[1].Name, snap[2].Name}
+	if names[0] != "a_gauge" || names[1] != "m_hist" || names[2] != "z_count" {
+		t.Fatalf("snapshot not sorted: %v", names)
+	}
+	if snap[0].Kind != "gauge" || snap[1].Kind != "histogram" || snap[2].Kind != "counter" {
+		t.Fatalf("kinds: %+v", snap)
+	}
+}
+
+// TestNilRegistryIsInert pins the no-op contract: a nil registry hands out
+// nil instruments whose every method is safe and free.
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	c, g, h := r.Counter("c"), r.Gauge("g"), r.Histogram("h", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must return nil instruments")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(1)
+	h.Start().Stop()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+}
+
+// TestNilInstrumentsZeroAlloc is the hot-path guarantee: observing through a
+// disabled (nil) registry allocates nothing, so the minibatch loop can be
+// instrumented unconditionally.
+func TestNilInstrumentsZeroAlloc(t *testing.T) {
+	var r *Registry
+	c := r.Counter("train_batches_total")
+	h := r.Histogram("train_batch_seconds", nil)
+	g := r.Gauge("lr")
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm := h.Start()
+		c.Inc()
+		c.Add(32)
+		g.Set(1e-3)
+		h.Observe(0.5)
+		tm.Stop()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil instruments allocated %.1f per op", allocs)
+	}
+}
+
+// TestEnabledHistogramZeroAllocObserve: even enabled, Observe stays
+// allocation-free — only instrument creation allocates.
+func TestEnabledHistogramZeroAllocObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", nil)
+	c := r.Counter("c")
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(0.01)
+		c.Inc()
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled Observe allocated %.1f per op", allocs)
+	}
+}
+
+func TestHistogramTimer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t", nil)
+	tm := h.Start()
+	if d := tm.Stop(); d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("timer did not observe: count %d", h.Count())
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c").Inc()
+				r.Histogram("h", nil).Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 4000 {
+		t.Fatalf("concurrent counter %d", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 4000 {
+		t.Fatalf("concurrent histogram %d", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("bucket %d: %v want %v", i, b[i], want[i])
+		}
+	}
+}

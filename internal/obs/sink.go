@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// Sink streams structured JSONL records — one JSON object per line — to an
+// io.Writer. Records are arbitrary json-marshalable values; by convention
+// every record carries an "event" field naming its kind (see README
+// "Observability" for the schema the cmd tools emit). A nil *Sink discards
+// everything, so call sites never need to guard.
+type Sink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewSink returns a sink writing to w (nil w → nil sink).
+func NewSink(w io.Writer) *Sink {
+	if w == nil {
+		return nil
+	}
+	return &Sink{w: w}
+}
+
+// Emit marshals rec and writes it as one line. The first marshal or write
+// error is sticky (later Emits are dropped) and reported by Err. No-op on a
+// nil sink.
+func (s *Sink) Emit(rec any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		s.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// EmitMetrics emits a {"event":"metrics"} record carrying a registry
+// snapshot. No-op when the sink or registry is nil.
+func (s *Sink) EmitMetrics(r *Registry) {
+	if s == nil || r == nil {
+		return
+	}
+	s.Emit(struct {
+		Event   string   `json:"event"`
+		Metrics []Metric `json:"metrics"`
+	}{"metrics", r.Snapshot()})
+}
+
+// Err returns the first error encountered by Emit (nil on a nil sink).
+func (s *Sink) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Logger is the minimal leveled replacement for the cmd tools' ad-hoc
+// fmt/log prints: Printf-style progress lines that a -quiet flag (or a nil
+// logger) silences wholesale.
+type Logger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLogger returns a logger writing to w, or nil (silent) when quiet is set
+// or w is nil.
+func NewLogger(w io.Writer, quiet bool) *Logger {
+	if quiet || w == nil {
+		return nil
+	}
+	return &Logger{w: w}
+}
+
+// Printf writes one formatted line (a trailing newline is added if missing).
+// No-op on a nil logger.
+func (l *Logger) Printf(format string, args ...any) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fprintf(l.w, format, args...)
+}
+
+// Writer returns the underlying writer, or io.Discard on a nil logger —
+// handy for APIs that take a progress io.Writer.
+func (l *Logger) Writer() io.Writer {
+	if l == nil {
+		return io.Discard
+	}
+	return l.w
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	s := fmt.Sprintf(format, args...)
+	if !strings.HasSuffix(s, "\n") {
+		s += "\n"
+	}
+	io.WriteString(w, s)
+}

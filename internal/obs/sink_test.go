@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSinkEmitsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	type rec struct {
+		Event string  `json:"event"`
+		Epoch int     `json:"epoch"`
+		Loss  float64 `json:"loss"`
+	}
+	s.Emit(rec{"epoch", 1, 0.5})
+	s.Emit(rec{"epoch", 2, 0.25})
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for i, line := range lines {
+		var got rec
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d invalid: %v", i, err)
+		}
+		if got.Event != "epoch" || got.Epoch != i+1 {
+			t.Fatalf("line %d: %+v", i, got)
+		}
+	}
+}
+
+func TestSinkEmitMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	r := NewRegistry()
+	r.Counter("x").Add(7)
+	s.EmitMetrics(r)
+	var got struct {
+		Event   string   `json:"event"`
+		Metrics []Metric `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Event != "metrics" || len(got.Metrics) != 1 || got.Metrics[0].Value != 7 {
+		t.Fatalf("metrics record: %+v", got)
+	}
+}
+
+func TestNilSinkAndLogger(t *testing.T) {
+	var s *Sink
+	s.Emit(map[string]int{"a": 1})
+	s.EmitMetrics(NewRegistry())
+	if s.Err() != nil {
+		t.Fatal("nil sink must not error")
+	}
+	if NewSink(nil) != nil {
+		t.Fatal("NewSink(nil) must be nil")
+	}
+
+	var l *Logger
+	l.Printf("dropped %d", 1)
+	if l.Writer() == nil {
+		t.Fatal("nil logger Writer must be io.Discard, not nil")
+	}
+	if NewLogger(nil, false) != nil || NewLogger(&bytes.Buffer{}, true) != nil {
+		t.Fatal("quiet/nil logger must be nil")
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n++
+	return 0, errors.New("disk full")
+}
+
+func TestSinkStickyError(t *testing.T) {
+	fw := &failWriter{}
+	s := NewSink(fw)
+	s.Emit(map[string]int{"a": 1})
+	s.Emit(map[string]int{"b": 2})
+	if s.Err() == nil {
+		t.Fatal("expected error")
+	}
+	if fw.n != 1 {
+		t.Fatalf("writes after error: %d", fw.n)
+	}
+}
+
+func TestSinkConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSink(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Emit(map[string]int{"w": w, "i": i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("interleaved line: %q", line)
+		}
+	}
+}
+
+func TestLoggerPrintf(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewLogger(&buf, false)
+	l.Printf("x %d", 1)
+	l.Printf("y\n")
+	if got := buf.String(); got != "x 1\ny\n" {
+		t.Fatalf("log output %q", got)
+	}
+	if l.Writer() != &buf {
+		t.Fatal("Writer must expose the sink writer")
+	}
+}

@@ -3,11 +3,16 @@ package pipeline
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
+	"fmt"
 	"math"
 	"math/rand"
+	"os"
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"predtop/internal/obs"
 )
 
 func TestLatencyFigure6Example(t *testing.T) {
@@ -116,12 +121,109 @@ func TestWriteChromeTrace(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
 		t.Fatalf("invalid trace JSON: %v", err)
 	}
-	if len(events) != 6 { // 3 stages × 2 microbatches
-		t.Fatalf("trace events: %d", len(events))
-	}
+	var slices, meta int
+	names := map[string]bool{}
 	for _, e := range events {
-		if e["ph"] != "X" || e["dur"].(float64) <= 0 {
-			t.Fatalf("bad event %v", e)
+		switch e["ph"] {
+		case "X":
+			slices++
+			if e["dur"].(float64) <= 0 {
+				t.Fatalf("bad event %v", e)
+			}
+		case "M":
+			meta++
+			if args, ok := e["args"].(map[string]any); ok {
+				names[args["name"].(string)] = true
+			}
+		default:
+			t.Fatalf("unexpected phase %v", e["ph"])
 		}
 	}
+	if slices != 6 { // 3 stages × 2 microbatches
+		t.Fatalf("trace slices: %d", slices)
+	}
+	if meta != 4 { // process_name + 3 thread_name
+		t.Fatalf("metadata events: %d", meta)
+	}
+	for _, want := range []string{"stage 1", "stage 2", "stage 3"} {
+		if !names[want] {
+			t.Fatalf("missing named track %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestWriteChromeTraceRejectsInvalidInput: bad input must be an error, not a
+// garbage trace.
+func TestWriteChromeTraceRejectsInvalidInput(t *testing.T) {
+	cases := []struct {
+		name string
+		lat  []float64
+		mb   int
+	}{
+		{"zero microbatches", []float64{1, 2}, 0},
+		{"negative microbatches", []float64{1, 2}, -3},
+		{"negative latency", []float64{1, -2}, 4},
+		{"NaN latency", []float64{math.NaN()}, 4},
+		{"Inf latency", []float64{math.Inf(1)}, 4},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, tc.lat, tc.mb); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("%s: wrote %d bytes alongside the error", tc.name, buf.Len())
+		}
+	}
+}
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden mismatch for %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestWriteChromeTraceGolden pins the exact trace bytes for a pipeline
+// schedule: struct encoding keeps the field order stable, track registration
+// order fixes the tids, and the simulator's task order fixes the slices.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []float64{1, 3, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "testdata/pipeline_trace.golden.json", buf.Bytes())
+}
+
+// TestCombinedTraceGolden renders training epochs and a pipeline schedule as
+// named tracks of one Perfetto file — the trace shape the instrumented cmd
+// tools emit — and pins its bytes.
+func TestCombinedTraceGolden(t *testing.T) {
+	tb := obs.NewTrace()
+	// Three training epochs at cumulative wall offsets, as the training
+	// hooks record them.
+	wall := []float64{0, 1.5, 2.75, 3.5}
+	for e := 1; e < len(wall); e++ {
+		tb.Slice("epochs", fmt.Sprintf("epoch %d", e), wall[e-1], wall[e]-wall[e-1])
+	}
+	if err := AddSchedule(tb, "", []float64{1, 3, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "testdata/combined_trace.golden.json", buf.Bytes())
 }

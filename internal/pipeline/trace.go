@@ -1,39 +1,47 @@
 package pipeline
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+
+	"predtop/internal/obs"
 )
 
-// traceEvent is one Chrome-tracing "complete" event (the chrome://tracing /
-// Perfetto JSON array format).
-type traceEvent struct {
-	Name     string  `json:"name"`
-	Phase    string  `json:"ph"`
-	TimestUS float64 `json:"ts"`
-	DurUS    float64 `json:"dur"`
-	PID      int     `json:"pid"`
-	TID      int     `json:"tid"`
+// AddSchedule appends the simulated 1F1B schedule to a trace builder: one
+// named track per stage ("<prefix>stage N"), one slice per
+// (stage, microbatch) task. Latencies are interpreted as seconds of
+// simulated time starting at the trace origin. It validates its input —
+// microbatches < 1, negative, NaN, or infinite latencies are an error
+// rather than a garbage trace — and is a no-op on a nil builder (after
+// validation, so callers catch bad inputs regardless of tracing).
+func AddSchedule(tb *obs.TraceBuilder, prefix string, stageLat []float64, microbatches int) error {
+	if microbatches < 1 {
+		return fmt.Errorf("pipeline: microbatches must be >= 1, got %d", microbatches)
+	}
+	for i, t := range stageLat {
+		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return fmt.Errorf("pipeline: invalid latency %v for stage %d", t, i+1)
+		}
+	}
+	_, tasks := Simulate(stageLat, microbatches)
+	for _, t := range tasks {
+		tb.Slice(fmt.Sprintf("%sstage %d", prefix, t.Stage+1),
+			fmt.Sprintf("mb%d", t.Microbatch), t.Start, t.End-t.Start)
+	}
+	return nil
 }
 
 // WriteChromeTrace renders a simulated pipeline schedule as a Chrome-tracing
-// JSON file (loadable in chrome://tracing or Perfetto): one track per stage,
-// one slice per (stage, microbatch) task. Latencies are interpreted as
-// seconds and emitted in microseconds.
+// JSON file (loadable in chrome://tracing or Perfetto): one named track per
+// stage, one slice per (stage, microbatch) task, with "M" metadata events
+// naming each track. Latencies are interpreted as seconds and emitted in
+// microseconds. Invalid input (negative latencies, microbatches < 1) is an
+// error.
 func WriteChromeTrace(w io.Writer, stageLat []float64, microbatches int) error {
-	_, tasks := Simulate(stageLat, microbatches)
-	events := make([]traceEvent, 0, len(tasks))
-	for _, t := range tasks {
-		events = append(events, traceEvent{
-			Name:     fmt.Sprintf("mb%d", t.Microbatch),
-			Phase:    "X",
-			TimestUS: t.Start * 1e6,
-			DurUS:    (t.End - t.Start) * 1e6,
-			PID:      1,
-			TID:      t.Stage + 1,
-		})
+	tb := obs.NewTrace()
+	if err := AddSchedule(tb, "", stageLat, microbatches); err != nil {
+		return err
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(events)
+	return tb.Render(w)
 }

@@ -13,6 +13,7 @@ import (
 	"predtop/internal/cluster"
 	"predtop/internal/intraop"
 	"predtop/internal/models"
+	"predtop/internal/obs"
 	"predtop/internal/pipeline"
 	"predtop/internal/stage"
 )
@@ -30,6 +31,12 @@ type Options struct {
 	Microbatches int
 	// MaxStageLen caps stage length in segments (0 = unbounded).
 	MaxStageLen int
+	// Metrics, when non-nil, receives search instrumentation: the
+	// planner_latency_queries / planner_pairs_feasible /
+	// planner_tmax_candidates / planner_improvements counters, the
+	// planner_best_latency gauge, and the planner_optimize_seconds
+	// histogram. Observation only — a nil registry changes nothing.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -59,6 +66,10 @@ func (p Plan) NumStages() int { return len(p.Stages) }
 // minimizing Σtᵢ subject to tᵢ ≤ t_max — Alpa's inter-op formulation.
 func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (Plan, bool) {
 	opt = opt.withDefaults()
+	reg := opt.Metrics
+	searchTimer := reg.Histogram("planner_optimize_seconds", nil).Start()
+	queries := reg.Counter("planner_latency_queries")
+	feasible := reg.Counter("planner_pairs_feasible")
 	meshes := cluster.Meshes(p)
 	totalDev := p.Nodes * p.GPUsPerNode
 
@@ -74,13 +85,16 @@ func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (
 	}
 	for _, sp := range stage.AllSpecs(numSegments, maxLen) {
 		for mi, mesh := range meshes {
+			queries.Inc()
 			if t, ok := lat(sp, mesh); ok && t > 0 && !math.IsInf(t, 1) {
+				feasible.Inc()
 				est[pairKey{sp.Lo, sp.Hi, mi}] = t
 				candidates = append(candidates, t)
 			}
 		}
 	}
 	if len(candidates) == 0 {
+		searchTimer.Stop()
 		return Plan{}, false
 	}
 	sort.Float64s(candidates)
@@ -98,7 +112,9 @@ func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (
 		choice[k] = make([]choicem, totalDev+1)
 	}
 
-	for _, tmax := range dedup(candidates) {
+	tmaxes := dedup(candidates)
+	reg.Counter("planner_tmax_candidates").Add(int64(len(tmaxes)))
+	for _, tmax := range tmaxes {
 		for k := numSegments; k >= 0; k-- {
 			for d := 0; d <= totalDev; d++ {
 				if k == numSegments {
@@ -134,13 +150,40 @@ func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (
 				bestT = total
 				bestPlan = reconstruct(choice, meshes, numSegments, totalDev)
 				bestPlan.Est = total
+				reg.Counter("planner_improvements").Inc()
 			}
 		}
 	}
+	searchTimer.Stop()
 	if math.IsInf(bestT, 1) {
 		return Plan{}, false
 	}
+	reg.Gauge("planner_best_latency").Set(bestT)
 	return bestPlan, true
+}
+
+// InstrumentLatencyFn wraps a latency source so every planner query is
+// counted and timed: the planner_predict_seconds histogram records
+// per-stage estimation latency, planner_predict_total and
+// planner_predict_infeasible count outcomes. A nil registry returns lat
+// unchanged; the wrapper observes only and never alters results.
+func InstrumentLatencyFn(lat LatencyFn, reg *obs.Registry) LatencyFn {
+	if reg == nil {
+		return lat
+	}
+	hist := reg.Histogram("planner_predict_seconds", nil)
+	total := reg.Counter("planner_predict_total")
+	infeasible := reg.Counter("planner_predict_infeasible")
+	return func(sp stage.Spec, mesh cluster.Mesh) (float64, bool) {
+		tm := hist.Start()
+		t, ok := lat(sp, mesh)
+		tm.Stop()
+		total.Inc()
+		if !ok {
+			infeasible.Inc()
+		}
+		return t, ok
+	}
 }
 
 func dedup(sorted []float64) []float64 {
@@ -181,17 +224,28 @@ func TrueStageLatency(m *models.Model, sp stage.Spec, mesh cluster.Mesh) (float6
 	return best, !math.IsInf(best, 1)
 }
 
-// EvaluatePlan returns the ground-truth Eqn-4 iteration latency of a plan
-// (each stage at its true optimal intra-op latency). ok is false when any
-// stage is infeasible on its assigned mesh.
-func EvaluatePlan(m *models.Model, plan Plan, microbatches int) (float64, bool) {
+// StageLatencies returns each plan stage's true optimal intra-op latency on
+// its assigned mesh — the input to both Eqn-4 evaluation and schedule-trace
+// rendering. ok is false when any stage is infeasible.
+func StageLatencies(m *models.Model, plan Plan) ([]float64, bool) {
 	lats := make([]float64, len(plan.Stages))
 	for i, sp := range plan.Stages {
 		t, ok := TrueStageLatency(m, sp, plan.Meshes[i])
 		if !ok {
-			return 0, false
+			return nil, false
 		}
 		lats[i] = t
+	}
+	return lats, true
+}
+
+// EvaluatePlan returns the ground-truth Eqn-4 iteration latency of a plan
+// (each stage at its true optimal intra-op latency). ok is false when any
+// stage is infeasible on its assigned mesh.
+func EvaluatePlan(m *models.Model, plan Plan, microbatches int) (float64, bool) {
+	lats, ok := StageLatencies(m, plan)
+	if !ok {
+		return 0, false
 	}
 	return pipeline.Latency(lats, microbatches), true
 }

@@ -25,6 +25,11 @@ type Meter struct {
 	InferSeconds   float64
 	StagesProfiled int
 	RealSeconds    float64
+	// CacheHits/CacheMisses count memoized latency-source lookups: a miss
+	// pays the full profile/predict cost, a hit is free. The ratio shows how
+	// much the planner's repeated (stage, mesh) queries amortize.
+	CacheHits   int
+	CacheMisses int
 }
 
 // Total returns the end-to-end optimization cost in simulated seconds.
@@ -49,8 +54,10 @@ func FullProfiling(mdl *models.Model, prof sim.Profiler, meter *Meter) LatencyFn
 	return func(sp stage.Spec, mesh cluster.Mesh) (float64, bool) {
 		k := key{sp.Lo, sp.Hi, mesh.Index}
 		if t, ok := memo[k]; ok {
+			meter.CacheHits++
 			return t, !math.IsInf(t, 1)
 		}
+		meter.CacheMisses++
 		g := mdl.StageGraph(sp.Lo, sp.Hi, true)
 		best := math.Inf(1)
 		for _, conf := range cluster.ConfigsFor(mesh) {
@@ -190,8 +197,10 @@ func TrainPredictorProvider(mdl *models.Model, p cluster.Platform, opt Predictor
 	return func(sp stage.Spec, mesh cluster.Mesh) (float64, bool) {
 		k := pairKey{sp.Lo, sp.Hi, mesh.Index}
 		if t, ok := memo[k]; ok {
+			meter.CacheHits++
 			return t, !math.IsInf(t, 1)
 		}
+		meter.CacheMisses++
 		start := time.Now()
 		g := mdl.StageGraph(sp.Lo, sp.Hi, true)
 		best := math.Inf(1)

@@ -7,6 +7,7 @@ import (
 
 	"predtop/internal/ag"
 	"predtop/internal/graphnn"
+	"predtop/internal/obs"
 	"predtop/internal/optim"
 	"predtop/internal/parallel"
 	"predtop/internal/stage"
@@ -38,6 +39,48 @@ type TrainConfig struct {
 	// bitwise-identical results — sharding and gradient-reduction order
 	// depend only on the minibatch, never on the worker count.
 	Workers int
+	// Hooks, when non-nil, observes training progress (per-epoch stats,
+	// early stop, weight restore) and receives hot-path metrics. Hooks only
+	// observe — they never perturb the shuffle, sharding, or reduction
+	// order — so trained weights stay bitwise identical with hooks attached
+	// or absent, at every Workers setting.
+	Hooks *TrainHooks
+}
+
+// EpochStats is one epoch of a training run, as recorded in
+// TrainResult.History and delivered to TrainHooks.OnEpoch. TrainLoss is the
+// mean per-sample minibatch loss over the epoch (in label-normalized units,
+// accumulated in fixed batch order, so it is bitwise deterministic);
+// GradNorm is the mean pre-clip gradient norm over the epoch's batches;
+// WallSeconds is cumulative since Train started.
+type EpochStats struct {
+	Epoch       int     `json:"epoch"` // 1-based
+	LR          float64 `json:"lr"`
+	TrainLoss   float64 `json:"train_loss"`
+	ValLoss     float64 `json:"val_loss"` // 0 when no validation set
+	GradNorm    float64 `json:"grad_norm"`
+	BadEpochs   int     `json:"bad_epochs"` // epochs since the last val improvement
+	WallSeconds float64 `json:"wall_s"`
+}
+
+// TrainHooks observes a training run. Every field is optional; the zero
+// value observes nothing. Callbacks run on the training goroutine between
+// epochs (never inside the data-parallel minibatch loop), so they may block
+// but must not mutate the model.
+type TrainHooks struct {
+	// OnEpoch fires once per epoch, after the optimizer steps and the
+	// validation pass.
+	OnEpoch func(EpochStats)
+	// OnEarlyStop fires at most once, when patience is exhausted; epoch is
+	// the 1-based last epoch run.
+	OnEarlyStop func(epoch int)
+	// OnRestore fires when best-validation weights are restored at the end
+	// of a run with a validation set.
+	OnRestore func(bestEpoch int, bestValLoss float64)
+	// Metrics receives hot-path instruments (train_batches_total,
+	// train_samples_total, train_batch_seconds, train_epoch_seconds). A nil
+	// registry is a zero-allocation no-op on the minibatch hot path.
+	Metrics *obs.Registry
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -63,7 +106,14 @@ func (c TrainConfig) withDefaults() TrainConfig {
 type TrainResult struct {
 	EpochsRun   int
 	BestValLoss float64
-	Scale       float64 // label normalization divisor
+	// BestEpoch is the 1-based epoch whose weights the run kept: the best
+	// validation epoch, or the final epoch when no validation set was given
+	// (0 when nothing was trained).
+	BestEpoch int
+	Scale     float64 // label normalization divisor
+	// History holds one entry per epoch run (len == EpochsRun), so callers
+	// can plot loss curves without attaching hooks.
+	History     []EpochStats
 	WallSeconds float64
 }
 
@@ -132,22 +182,39 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 		tapes[i] = ag.NewContextInto(bufs[i])
 	}
 
+	// Instruments resolve to nil on a nil registry, making every hot-path
+	// observation below a zero-allocation no-op (guarded by
+	// TestNilRegistryHotPathZeroAlloc).
+	hooks := cfg.Hooks
+	var reg *obs.Registry
+	if hooks != nil {
+		reg = hooks.Metrics
+	}
+	batchTimer := reg.Histogram("train_batch_seconds", nil)
+	epochTimer := reg.Histogram("train_epoch_seconds", nil)
+	batchCtr := reg.Counter("train_batches_total")
+	sampleCtr := reg.Counter("train_samples_total")
+
 	useVal := len(valIdx) > 0
 	best := math.Inf(1)
 	bestParams := snapshot(params)
 	bad := 0
 	res := TrainResult{Scale: scale}
+	lossVals := make([]float64, cfg.BatchSize)
 
 	order := append([]int{}, trainIdx...)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		et := epochTimer.Start()
 		lr := optim.CosineDecay(cfg.BaseLR, epoch, cfg.Epochs)
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		epochLoss, normSum, numBatches := 0.0, 0.0, 0
 		for lo := 0; lo < len(order); lo += cfg.BatchSize {
 			hi := lo + cfg.BatchSize
 			if hi > len(order) {
 				hi = len(order)
 			}
 			batch := order[lo:hi]
+			bt := batchTimer.Start()
 			parallel.ForLimit(len(batch), cfg.Workers, func(k int) {
 				s := &ds.Samples[batch[k]]
 				ctx := tapes[k]
@@ -161,35 +228,68 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 				} else {
 					loss = ctx.MAELoss(pred, target)
 				}
+				lossVals[k] = loss.Value().At(0, 0)
 				ctx.Backward(loss)
 			})
 			optim.ReduceGrads(params, bufs[:len(batch)])
 			optim.ScaleGrads(params, 1/float64(len(batch)))
-			optim.ClipGradNorm(params, cfg.ClipNorm)
+			norm := optim.ClipGradNorm(params, cfg.ClipNorm)
 			opt.Step(lr)
+			bt.Stop()
+			batchCtr.Inc()
+			sampleCtr.Add(int64(len(batch)))
+			// Observation only: per-sample losses fold through the same
+			// fixed-shape tree as the gradients and accumulate serially in
+			// batch order, so History is as deterministic as the weights.
+			epochLoss += parallel.TreeReduce(lossVals[:len(batch)], func(a, b float64) float64 { return a + b })
+			normSum += norm
+			numBatches++
 		}
 		res.EpochsRun = epoch + 1
 
-		if !useVal {
-			continue
+		stats := EpochStats{
+			Epoch:     epoch + 1,
+			LR:        lr,
+			TrainLoss: epochLoss / float64(len(order)),
+			GradNorm:  normSum / float64(numBatches),
 		}
-		val := lossOf(valIdx)
-		if val < best {
-			best = val
-			copyInto(bestParams, params)
-			bad = 0
-		} else {
-			bad++
-			if bad >= cfg.Patience {
-				break
+		stopped := false
+		if useVal {
+			val := lossOf(valIdx)
+			stats.ValLoss = val
+			if val < best {
+				best = val
+				res.BestEpoch = epoch + 1
+				copyInto(bestParams, params)
+				bad = 0
+			} else {
+				bad++
+				stopped = bad >= cfg.Patience
 			}
+			stats.BadEpochs = bad
+		}
+		stats.WallSeconds = time.Since(start).Seconds()
+		res.History = append(res.History, stats)
+		et.Stop()
+		if hooks != nil && hooks.OnEpoch != nil {
+			hooks.OnEpoch(stats)
+		}
+		if stopped {
+			if hooks != nil && hooks.OnEarlyStop != nil {
+				hooks.OnEarlyStop(epoch + 1)
+			}
+			break
 		}
 	}
 	if useVal {
 		restore(params, bestParams)
 		res.BestValLoss = best
+		if hooks != nil && hooks.OnRestore != nil {
+			hooks.OnRestore(res.BestEpoch, best)
+		}
 	} else {
 		res.BestValLoss = lossOf(trainIdx)
+		res.BestEpoch = res.EpochsRun
 	}
 	res.WallSeconds = time.Since(start).Seconds()
 	return Trained{Model: model, Scale: scale}, res

@@ -1,11 +1,13 @@
 package predictor
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 
 	"predtop/internal/graphnn"
+	"predtop/internal/obs"
 )
 
 func buildArch(name string, seed int64) graphnn.Model {
@@ -23,9 +25,10 @@ func buildArch(name string, seed int64) graphnn.Model {
 
 // TestParallelTrainingBitwiseDeterministic is the tentpole guarantee: the
 // same seeds trained with 1 worker and with many workers must produce
-// bitwise-identical weights, loss, and predictions for every architecture.
+// bitwise-identical weights, loss, and predictions for every architecture —
+// with observation hooks attached or absent (hooks observe, never perturb).
 // Not skipped in -short mode so `go test -race -short` exercises the
-// concurrent training path.
+// concurrent hook-instrumented training path.
 func TestParallelTrainingBitwiseDeterministic(t *testing.T) {
 	_, ds := smallDataset(t, 12)
 	n := len(ds.Samples)
@@ -41,35 +44,177 @@ func TestParallelTrainingBitwiseDeterministic(t *testing.T) {
 
 	for _, arch := range []string{"Tran", "GCN", "GAT"} {
 		t.Run(arch, func(t *testing.T) {
-			run := func(workers int) (Trained, TrainResult) {
-				return Train(buildArch(arch, 42), ds, trainIdx, valIdx, TrainConfig{
+			run := func(workers int, hooked bool) (Trained, TrainResult) {
+				cfg := TrainConfig{
 					Epochs: 3, Patience: 3, BatchSize: 5, Seed: 13, Workers: workers,
-				})
+				}
+				if hooked {
+					cfg.Hooks = &TrainHooks{
+						OnEpoch:   func(EpochStats) {},
+						OnRestore: func(int, float64) {},
+						Metrics:   obs.NewRegistry(),
+					}
+				}
+				return Train(buildArch(arch, 42), ds, trainIdx, valIdx, cfg)
 			}
-			ref, refRes := run(1)
-			for _, workers := range []int{4, 7} {
-				got, gotRes := run(workers)
-				if math.Float64bits(gotRes.BestValLoss) != math.Float64bits(refRes.BestValLoss) {
-					t.Fatalf("workers=%d BestValLoss %v != %v", workers, gotRes.BestValLoss, refRes.BestValLoss)
-				}
-				if gotRes.EpochsRun != refRes.EpochsRun {
-					t.Fatalf("workers=%d EpochsRun %d != %d", workers, gotRes.EpochsRun, refRes.EpochsRun)
-				}
-				refP, gotP := ref.Model.Params(), got.Model.Params()
-				if len(refP) != len(gotP) {
-					t.Fatalf("param count mismatch")
-				}
-				for i := range refP {
-					for j := range refP[i].V.Data {
-						a, b := refP[i].V.Data[j], gotP[i].V.Data[j]
-						if math.Float64bits(a) != math.Float64bits(b) {
-							t.Fatalf("workers=%d param %s[%d]: %x != %x",
-								workers, refP[i].Name, j, math.Float64bits(a), math.Float64bits(b))
+			ref, refRes := run(1, false)
+			// The determinism table: every worker count, instrumented and
+			// not, must match the serial uninstrumented reference bitwise.
+			for _, workers := range []int{1, 4, 7} {
+				for _, hooked := range []bool{false, true} {
+					if workers == 1 && !hooked {
+						continue
+					}
+					got, gotRes := run(workers, hooked)
+					label := fmt.Sprintf("workers=%d hooks=%v", workers, hooked)
+					if math.Float64bits(gotRes.BestValLoss) != math.Float64bits(refRes.BestValLoss) {
+						t.Fatalf("%s BestValLoss %v != %v", label, gotRes.BestValLoss, refRes.BestValLoss)
+					}
+					if gotRes.EpochsRun != refRes.EpochsRun {
+						t.Fatalf("%s EpochsRun %d != %d", label, gotRes.EpochsRun, refRes.EpochsRun)
+					}
+					if gotRes.BestEpoch != refRes.BestEpoch {
+						t.Fatalf("%s BestEpoch %d != %d", label, gotRes.BestEpoch, refRes.BestEpoch)
+					}
+					if len(gotRes.History) != len(refRes.History) {
+						t.Fatalf("%s history length %d != %d", label, len(gotRes.History), len(refRes.History))
+					}
+					for e := range refRes.History {
+						a, b := refRes.History[e], gotRes.History[e]
+						if math.Float64bits(a.TrainLoss) != math.Float64bits(b.TrainLoss) ||
+							math.Float64bits(a.ValLoss) != math.Float64bits(b.ValLoss) ||
+							math.Float64bits(a.GradNorm) != math.Float64bits(b.GradNorm) {
+							t.Fatalf("%s history[%d] diverged: %+v != %+v", label, e, b, a)
+						}
+					}
+					refP, gotP := ref.Model.Params(), got.Model.Params()
+					if len(refP) != len(gotP) {
+						t.Fatalf("param count mismatch")
+					}
+					for i := range refP {
+						for j := range refP[i].V.Data {
+							a, b := refP[i].V.Data[j], gotP[i].V.Data[j]
+							if math.Float64bits(a) != math.Float64bits(b) {
+								t.Fatalf("%s param %s[%d]: %x != %x",
+									label, refP[i].Name, j, math.Float64bits(a), math.Float64bits(b))
+							}
 						}
 					}
 				}
 			}
 		})
+	}
+}
+
+// TestTrainHooksAndHistory checks the observation contract: History has one
+// entry per epoch run, OnEpoch fires once per epoch with the same stats,
+// BestEpoch points at the restored weights, and OnRestore reports it.
+func TestTrainHooksAndHistory(t *testing.T) {
+	_, ds := smallDataset(t, 12)
+	n := len(ds.Samples)
+	var trainIdx, valIdx []int
+	for i := 0; i < n; i++ {
+		if i%3 == 2 {
+			valIdx = append(valIdx, i)
+		} else {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	var epochs []EpochStats
+	restored := -1
+	reg := obs.NewRegistry()
+	_, res := Train(buildArch("GCN", 7), ds, trainIdx, valIdx, TrainConfig{
+		Epochs: 4, Patience: 4, BatchSize: 5, Seed: 3,
+		Hooks: &TrainHooks{
+			OnEpoch:   func(e EpochStats) { epochs = append(epochs, e) },
+			OnRestore: func(best int, _ float64) { restored = best },
+			Metrics:   reg,
+		},
+	})
+	if len(res.History) != res.EpochsRun {
+		t.Fatalf("history %d entries for %d epochs", len(res.History), res.EpochsRun)
+	}
+	if len(epochs) != res.EpochsRun {
+		t.Fatalf("OnEpoch fired %d times for %d epochs", len(epochs), res.EpochsRun)
+	}
+	for i, e := range epochs {
+		h := res.History[i]
+		if e.Epoch != i+1 || h.Epoch != i+1 {
+			t.Fatalf("epoch numbering: hook %d history %d at index %d", e.Epoch, h.Epoch, i)
+		}
+		if e != h {
+			t.Fatalf("hook stats %+v != history %+v", e, h)
+		}
+		if math.IsNaN(e.TrainLoss) || e.TrainLoss < 0 || e.GradNorm < 0 {
+			t.Fatalf("implausible stats %+v", e)
+		}
+		if e.LR < 0 || e.LR > 1e-3 {
+			t.Fatalf("lr %v outside cosine-decay range", e.LR)
+		}
+	}
+	if res.BestEpoch < 1 || res.BestEpoch > res.EpochsRun {
+		t.Fatalf("BestEpoch %d out of range", res.BestEpoch)
+	}
+	if restored != res.BestEpoch {
+		t.Fatalf("OnRestore reported %d, result says %d", restored, res.BestEpoch)
+	}
+	if res.History[res.BestEpoch-1].ValLoss != res.BestValLoss {
+		t.Fatalf("BestEpoch val %v != BestValLoss %v", res.History[res.BestEpoch-1].ValLoss, res.BestValLoss)
+	}
+	wantSamples := int64(len(trainIdx) * res.EpochsRun)
+	if got := reg.Counter("train_samples_total").Value(); got != wantSamples {
+		t.Fatalf("train_samples_total %d want %d", got, wantSamples)
+	}
+	if reg.Histogram("train_batch_seconds", nil).Count() == 0 {
+		t.Fatal("train_batch_seconds never observed")
+	}
+}
+
+// TestTrainEarlyStopHook: patience exhaustion must fire OnEarlyStop exactly
+// once with the last epoch run, and History must stop there too.
+func TestTrainEarlyStopHook(t *testing.T) {
+	_, ds := smallDataset(t, 12)
+	n := len(ds.Samples)
+	var trainIdx, valIdx []int
+	for i := 0; i < n; i++ {
+		if i%3 == 2 {
+			valIdx = append(valIdx, i)
+		} else {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	var stops []int
+	_, res := Train(buildArch("GCN", 7), ds, trainIdx, valIdx, TrainConfig{
+		Epochs: 50, Patience: 1, BatchSize: 5, Seed: 3,
+		Hooks: &TrainHooks{OnEarlyStop: func(e int) { stops = append(stops, e) }},
+	})
+	if res.EpochsRun == 50 {
+		t.Skip("no early stop triggered at this seed")
+	}
+	if len(stops) != 1 || stops[0] != res.EpochsRun {
+		t.Fatalf("OnEarlyStop fired %v, EpochsRun %d", stops, res.EpochsRun)
+	}
+	if len(res.History) != res.EpochsRun {
+		t.Fatalf("history %d entries for %d epochs", len(res.History), res.EpochsRun)
+	}
+}
+
+// TestNilRegistryHotPathZeroAlloc guards the obs no-op contract where it
+// matters: the exact instruments the minibatch hot path uses, resolved from
+// a disabled (nil) registry, must add zero allocations per batch.
+func TestNilRegistryHotPathZeroAlloc(t *testing.T) {
+	var reg *obs.Registry
+	batchTimer := reg.Histogram("train_batch_seconds", nil)
+	batchCtr := reg.Counter("train_batches_total")
+	sampleCtr := reg.Counter("train_samples_total")
+	allocs := testing.AllocsPerRun(500, func() {
+		bt := batchTimer.Start()
+		bt.Stop()
+		batchCtr.Inc()
+		sampleCtr.Add(32)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocated %.1f per batch", allocs)
 	}
 }
 

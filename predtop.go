@@ -42,11 +42,13 @@
 package predtop
 
 import (
+	"io"
 	"math/rand"
 
 	"predtop/internal/cluster"
 	"predtop/internal/graphnn"
 	"predtop/internal/models"
+	"predtop/internal/obs"
 	"predtop/internal/pipeline"
 	"predtop/internal/planner"
 	"predtop/internal/predictor"
@@ -155,6 +157,11 @@ type (
 	TrainConfig = predictor.TrainConfig
 	// TrainResult reports a completed training run.
 	TrainResult = predictor.TrainResult
+	// TrainHooks observes a training run (see TrainConfig.Hooks).
+	TrainHooks = predictor.TrainHooks
+	// EpochStats is one epoch of a training run, as delivered to
+	// TrainHooks.OnEpoch and recorded in TrainResult.History.
+	EpochStats = predictor.EpochStats
 	// Trained is a fitted predictor ready for inference.
 	Trained = predictor.Trained
 )
@@ -244,6 +251,53 @@ func EvaluatePlan(m *Model, plan Plan, microbatches int) (float64, bool) {
 // mesh (best Table-III configuration).
 func TrueStageLatency(m *Model, sp StageSpec, mesh Mesh) (float64, bool) {
 	return planner.TrueStageLatency(m, sp, mesh)
+}
+
+// Observability API (internal/obs): optional metrics, JSONL event records,
+// and Chrome-trace export. Every handle is nil-safe — a nil registry, sink,
+// trace builder, or logger is an inert no-op — so instrumentation can be
+// threaded unconditionally and enabled only when the user asks for it.
+type (
+	// Observer bundles the three observability outputs for APIs that take
+	// one optional handle (e.g. experiments.Preset.Obs).
+	Observer = obs.Observer
+	// MetricsRegistry collects counters, gauges, and histograms.
+	MetricsRegistry = obs.Registry
+	// MetricSnapshot is one exported metric (see MetricsRegistry.Snapshot).
+	MetricSnapshot = obs.Metric
+	// EventSink streams JSONL records, one JSON object per line.
+	EventSink = obs.Sink
+	// TraceBuilder accumulates Chrome-tracing events across named tracks.
+	TraceBuilder = obs.TraceBuilder
+	// ProgressLogger prints progress lines unless quiet (or nil).
+	ProgressLogger = obs.Logger
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventSink returns a JSONL sink writing to w (nil w → inert nil sink).
+func NewEventSink(w io.Writer) *EventSink { return obs.NewSink(w) }
+
+// NewTrace returns an empty Chrome-trace builder.
+func NewTrace() *TraceBuilder { return obs.NewTrace() }
+
+// NewProgressLogger returns a progress logger, or an inert nil logger when
+// quiet is set.
+func NewProgressLogger(w io.Writer, quiet bool) *ProgressLogger { return obs.NewLogger(w, quiet) }
+
+// AddPipelineSchedule appends a simulated 1F1B schedule to a trace builder:
+// one "<prefix>stage N" track per stage, one slice per microbatch task.
+// Invalid input (microbatches < 1; negative, NaN, or infinite latencies) is
+// an error.
+func AddPipelineSchedule(tb *TraceBuilder, prefix string, stageLat []float64, microbatches int) error {
+	return pipeline.AddSchedule(tb, prefix, stageLat, microbatches)
+}
+
+// WritePipelineTrace renders a simulated pipeline schedule as a Chrome-tracing
+// JSON file loadable in Perfetto or chrome://tracing.
+func WritePipelineTrace(w io.Writer, stageLat []float64, microbatches int) error {
+	return pipeline.WriteChromeTrace(w, stageLat, microbatches)
 }
 
 // SaveTrained writes a trained predictor (architecture spec, label scale,
