@@ -1,9 +1,18 @@
 # Tier-1 gate: everything `make ci` runs must stay green.
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: ci vet build test race bench
+.PHONY: ci fmt vet build test race bench
 
-ci: vet build test race
+ci: fmt vet build test race
+
+# gofmt must be a no-op on the whole tree; offenders are listed so the gate
+# fails with the file names.
+fmt:
+	@unformatted=$$($(GOFMT) -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 vet:
 	$(GO) vet ./...

@@ -7,17 +7,23 @@
 // Usage:
 //
 //	predtop-plan [-preset quick|paper] [-bench GPT-3|MoE|all] [-out results.txt]
-//	             [-metrics run.jsonl] [-trace run.json] [-quiet]
+//	             [-metrics run.jsonl] [-trace run.json] [-listen :9090]
+//	             [-profile spans.txt] [-quiet]
 //
 // -metrics streams JSONL records (run config, one plan_run record per
 // planner version, a final metrics snapshot); -trace writes a Chrome-tracing
 // JSON timeline — optimize/evaluate spans per planner version plus the
 // simulated 1F1B schedule of each feasible plan — loadable in Perfetto;
-// -quiet silences the per-run progress on stderr (the report still prints).
-// All three observe only — plans are bitwise identical with or without them.
+// -listen serves live telemetry over HTTP while the search runs (GET /metrics
+// in Prometheus text format, GET /healthz, /debug/pprof/); -profile writes a
+// hierarchical self-time span tree covering planner phases (estimate, DP) and
+// embedded predictor training; -quiet silences the per-run progress on stderr
+// (the report still prints). All of them observe only — plans are bitwise
+// identical with or without them.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +42,8 @@ func main() {
 	out := flag.String("out", "", "also write the report to this file")
 	metricsPath := flag.String("metrics", "", "write JSONL run records and a metrics snapshot to this file")
 	tracePath := flag.String("trace", "", "write a Chrome-tracing (Perfetto) JSON file to this path")
+	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/pprof/) on this address, e.g. :9090")
+	profilePath := flag.String("profile", "", "write a per-phase self-time span profile to this file")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr (the report still prints)")
 	flag.Parse()
 
@@ -67,10 +75,30 @@ func main() {
 	if *tracePath != "" {
 		tb = obs.NewTrace()
 	}
-	if sink != nil || tb != nil {
-		p.Obs = &obs.Observer{Metrics: reg, Events: sink, Trace: tb}
+	if *listen != "" && reg == nil {
+		reg = obs.NewRegistry()
+	}
+	var prof *obs.Profiler
+	if *profilePath != "" {
+		prof = obs.NewProfiler()
+		if tb != nil {
+			prof.AttachTrace(tb, "spans")
+		}
+	}
+	if sink != nil || tb != nil || reg != nil || prof != nil {
+		p.Obs = &obs.Observer{Metrics: reg, Events: sink, Trace: tb, Prof: prof}
 	}
 	progress := obs.NewLogger(os.Stderr, *quiet).Writer()
+	if *listen != "" {
+		srv, err := obs.StartServer(context.Background(), obs.ServerConfig{Addr: *listen, Registry: reg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		sampler := obs.StartRuntimeSampler(reg, 0)
+		defer sampler.Stop()
+		fmt.Fprintf(progress, "serving telemetry at %s/metrics\n", srv.URL())
+	}
 	sink.Emit(struct {
 		Event   string `json:"event"`
 		Tool    string `json:"tool"`
@@ -103,6 +131,11 @@ func main() {
 	}
 	if *tracePath != "" {
 		if err := tb.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *profilePath != "" {
+		if err := prof.WriteFile(*profilePath); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -6,16 +6,23 @@
 //
 //	predtop-train -bench GPT-3 -platform 2 -mesh 1 -conf 1 -arch tran \
 //	              -layers 12 -samples 0 -maxlen 3 -epochs 30 -o model.predtop \
-//	              [-metrics run.jsonl] [-trace run.json] [-quiet]
+//	              [-metrics run.jsonl] [-trace run.json] [-listen :9090] \
+//	              [-profile spans.txt] [-quiet]
 //
 // -metrics streams JSONL records (run config, one record per epoch, a final
 // summary, and a metrics snapshot); -trace writes a Chrome-tracing JSON file
 // (profile/train/evaluate phases plus one slice per training epoch) loadable
-// in Perfetto; -quiet suppresses progress lines. All three observe only —
-// trained weights are bitwise identical with or without them.
+// in Perfetto; -listen serves live telemetry over HTTP while the run is in
+// flight — GET /metrics in Prometheus text format (training counters and
+// histograms plus sampled Go runtime gauges), GET /healthz, and /debug/pprof/;
+// -profile writes a hierarchical self-time span tree attributing wall time to
+// training phases and individual predictor layers; -quiet suppresses progress
+// lines. All of them observe only — trained weights are bitwise identical
+// with or without them.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -42,6 +49,8 @@ func main() {
 	out := flag.String("o", "model.predtop", "output model path")
 	metricsPath := flag.String("metrics", "", "write JSONL run records and a metrics snapshot to this file")
 	tracePath := flag.String("trace", "", "write a Chrome-tracing (Perfetto) JSON file to this path")
+	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/pprof/) on this address, e.g. :9090")
+	profilePath := flag.String("profile", "", "write a per-phase/per-layer self-time span profile to this file")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 
@@ -60,6 +69,28 @@ func main() {
 	var tb *predtop.TraceBuilder
 	if *tracePath != "" {
 		tb = predtop.NewTrace()
+	}
+	if *listen != "" {
+		if reg == nil {
+			reg = predtop.NewMetricsRegistry()
+		}
+		srv, err := predtop.StartMetricsServer(context.Background(), predtop.MetricsServerConfig{
+			Addr: *listen, Registry: reg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		sampler := predtop.StartRuntimeSampler(reg, 0)
+		defer sampler.Stop()
+		lg.Printf("serving telemetry at %s/metrics", srv.URL())
+	}
+	var prof *predtop.SpanProfiler
+	if *profilePath != "" {
+		prof = predtop.NewSpanProfiler()
+		if tb != nil {
+			prof.AttachTrace(tb, "spans")
+		}
 	}
 
 	cfg := predtop.GPT3Config()
@@ -126,7 +157,8 @@ func main() {
 	trainStart := tb.Since()
 	prevWall := 0.0
 	hooks := &predtop.TrainHooks{
-		Metrics: reg,
+		Metrics:  reg,
+		Profiler: prof,
 		OnEpoch: func(e predtop.EpochStats) {
 			sink.Emit(struct {
 				Event string `json:"event"`
@@ -185,6 +217,12 @@ func main() {
 			log.Fatal(err)
 		}
 		lg.Printf("wrote trace to %s", *tracePath)
+	}
+	if *profilePath != "" {
+		if err := prof.WriteFile(*profilePath); err != nil {
+			log.Fatal(err)
+		}
+		lg.Printf("wrote span profile to %s", *profilePath)
 	}
 
 	if err := predtop.SaveTrained(*out, trained); err != nil {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 
+	"predtop/internal/obs"
 	"predtop/internal/tensor"
 )
 
@@ -94,6 +95,8 @@ type Context struct {
 	nodes  []*Node
 	params map[*Param]*Node
 	grads  *GradBuffer // nil: Backward accumulates into Param.Grad directly
+	span   obs.Span    // profiling span layer marks nest under (see profile.go)
+	marks  []layerMark // tape ranges recorded by StartLayer/End
 }
 
 // NewContext returns an empty tape accumulating into Param.Grad.
@@ -119,6 +122,7 @@ func (c *Context) Reset() {
 	}
 	c.nodes = c.nodes[:0]
 	clear(c.params)
+	c.marks = c.marks[:0]
 }
 
 func (c *Context) add(n *Node) *Node {
@@ -166,12 +170,20 @@ func anyRequires(ns ...*Node) bool {
 }
 
 // Backward seeds the 1×1 loss node with gradient 1 and propagates gradients
-// through the tape in reverse recording order.
+// through the tape in reverse recording order. When a profiling span is
+// attached and layer marks were recorded, the replay is additionally timed
+// per layer (see profile.go); the gradient math is identical either way.
 func (c *Context) Backward(loss *Node) {
 	if loss.V.R != 1 || loss.V.C != 1 {
 		panic(fmt.Sprintf("ag: Backward needs a scalar loss, got %dx%d", loss.V.R, loss.V.C))
 	}
 	loss.grad = tensor.Full(1, 1, 1)
+	if len(c.marks) > 0 && c.span.Enabled() {
+		bspan := c.span.Start("backward")
+		c.backwardProfiled(bspan)
+		bspan.End()
+		return
+	}
 	for i := len(c.nodes) - 1; i >= 0; i-- {
 		n := c.nodes[i]
 		if n.grad == nil || n.back == nil {

@@ -10,6 +10,7 @@ import (
 	"predtop/internal/parallel"
 	"predtop/internal/pipeline"
 	"predtop/internal/planner"
+	"predtop/internal/predictor"
 	"predtop/internal/sim"
 )
 
@@ -43,9 +44,11 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 		cfg.Layers = p.Fig10GPTLayers
 	}
 	mdl := models.Build(cfg)
+	mdl.Prof = p.Obs.Profiler()
 	prof := sim.DefaultProfiler()
 	prof.Metrics = p.Obs.Registry()
-	opts := planner.Options{Microbatches: p.Microbatches, MaxStageLen: maxLen, Metrics: p.Obs.Registry()}
+	opts := planner.Options{Microbatches: p.Microbatches, MaxStageLen: maxLen,
+		Metrics: p.Obs.Registry(), Prof: p.Obs.Profiler()}
 
 	// Each planner version owns its latency source and cost meter, so the
 	// five runs are independent and execute concurrently (p.Workers bound);
@@ -64,13 +67,17 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 		meter := &planner.Meter{}
 		specs = append(specs, runSpec{"Alpa-Partial", planner.PartialProfiling(mdl, prof, meter, p.PartialAlpha), meter})
 	}
+	// Predictor training inside the planner reports to the same observer as
+	// everything else (hooks only observe, so plans are unchanged).
+	planTrain := trainConfig(p.PlanTrain, p.Workers)
+	planTrain.Hooks = &predictor.TrainHooks{Metrics: p.Obs.Registry(), Profiler: p.Obs.Profiler()}
 	for _, kind := range []planner.PredictorKind{planner.KindGCN, planner.KindGAT, planner.KindTransformer} {
 		meter := &planner.Meter{}
 		latFn := planner.TrainPredictorProvider(mdl, platform, planner.PredictorOptions{
 			Kind:        kind,
 			SampleFrac:  p.PredSampleFrac,
 			MaxStageLen: maxLen,
-			Train:       trainConfig(p.PlanTrain, p.Workers),
+			Train:       planTrain,
 			Tran:        p.Tran,
 			GCN:         p.GCN,
 			GAT:         p.GAT,

@@ -62,6 +62,7 @@ func RunMRETable(p Preset, bench Benchmark, platform cluster.Platform, log io.Wr
 		log = io.Discard
 	}
 	mdl := models.Build(bench.Config)
+	mdl.Prof = p.Obs.Profiler()
 	rng := rand.New(rand.NewSource(p.Seed))
 	specs := predictor.CollectStages(mdl, rng, bench.Stages, bench.MaxLen)
 	enc := predictor.NewEncoder(mdl, true)
@@ -117,6 +118,7 @@ func RunMRETable(p Preset, bench Benchmark, platform cluster.Platform, log io.Wr
 		splitRng := rand.New(rand.NewSource(p.Seed*1000 + int64(c.fi*100+c.si)))
 		train, val, test := stage.Split(splitRng, len(ds.Samples), float64(p.Fractions[c.fi])/100, p.ValFrac)
 		cfg := trainConfig(p.Train, p.Workers)
+		cfg.Hooks = &predictor.TrainHooks{Metrics: reg, Profiler: p.Obs.Profiler()}
 		cfg.Seed = p.Seed + int64(c.fi*1000+c.si*10+c.mi)
 		model := p.newModel(ModelNames[c.mi], cfg.Seed)
 		trained, res := predictor.Train(model, ds, train, val, cfg)

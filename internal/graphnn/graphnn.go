@@ -107,6 +107,9 @@ type DAGTransformer struct {
 	pe     *tensor.Tensor
 	layers []*tranLayer
 	head   *nn.MLPHead
+	// Per-layer profiling span names ("l0.attn", "l0.ffn", …), precomputed
+	// so the instrumented Predict never formats strings on the hot path.
+	spanAttn, spanFFN []string
 }
 
 // NewDAGTransformer builds a DAG Transformer predictor.
@@ -126,6 +129,9 @@ func NewDAGTransformer(rng *rand.Rand, cfg TransformerConfig) *DAGTransformer {
 			ffn:  nn.NewFeedForward(rng, name+".ffn", cfg.Dim, cfg.FFNDim),
 			ln2:  nn.NewLayerNorm(name+".ln2", cfg.Dim),
 		})
+		li := "l" + strconv.Itoa(i)
+		m.spanAttn = append(m.spanAttn, li+".attn")
+		m.spanFFN = append(m.spanFFN, li+".ffn")
 	}
 	return m
 }
@@ -138,6 +144,7 @@ func (m *DAGTransformer) Spec() ModelSpec { return ModelSpec{Arch: "Tran", Tran:
 
 // Predict implements Model.
 func (m *DAGTransformer) Predict(ctx *ag.Context, e *stage.Encoded) *ag.Node {
+	ls := ctx.StartLayer("embed")
 	x := m.input.Forward(ctx, ctx.Const(e.X))
 	// DAGPE: add the sinusoidal encoding of each node's depth.
 	idx := make([]int, len(e.Depths))
@@ -148,14 +155,22 @@ func (m *DAGTransformer) Predict(ctx *ag.Context, e *stage.Encoded) *ag.Node {
 		idx[i] = d
 	}
 	x = ctx.Add(x, ctx.GatherRows(ctx.Const(m.pe), idx))
+	ls.End()
 	// Pre-LN layers: the residual stream stays unnormalized, so per-node
 	// cost magnitudes survive to the additive pooling (Eqn 2).
-	for _, l := range m.layers {
+	for i, l := range m.layers {
+		ls = ctx.StartLayer(m.spanAttn[i])
 		x = ctx.Add(x, l.attn.Forward(ctx, l.ln1.Forward(ctx, x), e.ReachMask))
+		ls.End()
+		ls = ctx.StartLayer(m.spanFFN[i])
 		x = ctx.Add(x, l.ffn.Forward(ctx, l.ln2.Forward(ctx, x)))
+		ls.End()
 	}
+	ls = ctx.StartLayer("head")
 	pooled := ctx.Scale(ctx.SumRows(x), poolScale) // global add pool (Eqn 2)
-	return m.head.Forward(ctx, pooled)
+	out := m.head.Forward(ctx, pooled)
+	ls.End()
+	return out
 }
 
 // Params implements nn.Module.
@@ -189,9 +204,10 @@ func (c GCNConfig) withDefaults() GCNConfig {
 // GCN is the graph-convolution baseline: X ← ReLU(Â X W + b) with
 // Â = D^{-1/2}(A+I)D^{-1/2}.
 type GCN struct {
-	cfg    GCNConfig
-	layers []*nn.Linear
-	head   *nn.MLPHead
+	cfg       GCNConfig
+	layers    []*nn.Linear
+	head      *nn.MLPHead
+	spanNames []string // precomputed per-layer profiling span names
 }
 
 // NewGCN builds a GCN predictor.
@@ -201,6 +217,7 @@ func NewGCN(rng *rand.Rand, cfg GCNConfig) *GCN {
 	in := stage.FeatureDim
 	for i := 0; i < cfg.Layers; i++ {
 		m.layers = append(m.layers, nn.NewLinear(rng, "gcn.l"+strconv.Itoa(i), in, cfg.Dim))
+		m.spanNames = append(m.spanNames, "l"+strconv.Itoa(i))
 		in = cfg.Dim
 	}
 	m.head = nn.NewMLPHead(rng, "gcn.head", cfg.Dim, cfg.Dim/2)
@@ -217,10 +234,15 @@ func (m *GCN) Spec() ModelSpec { return ModelSpec{Arch: "GCN", GCN: m.cfg} }
 func (m *GCN) Predict(ctx *ag.Context, e *stage.Encoded) *ag.Node {
 	x := ctx.Const(e.X)
 	adj := ctx.Const(e.AdjNorm)
-	for _, l := range m.layers {
+	for i, l := range m.layers {
+		ls := ctx.StartLayer(m.spanNames[i])
 		x = ctx.ReLU(l.Forward(ctx, ctx.MatMul(adj, x)))
+		ls.End()
 	}
-	return m.head.Forward(ctx, ctx.Scale(ctx.SumRows(x), poolScale))
+	ls := ctx.StartLayer("head")
+	out := m.head.Forward(ctx, ctx.Scale(ctx.SumRows(x), poolScale))
+	ls.End()
+	return out
 }
 
 // Params implements nn.Module.
@@ -270,9 +292,10 @@ type gatLayer struct {
 // GAT is the graph-attention baseline: masked attention restricted to 1-hop
 // neighbours.
 type GAT struct {
-	cfg    GATConfig
-	layers []*gatLayer
-	head   *nn.MLPHead
+	cfg       GATConfig
+	layers    []*gatLayer
+	head      *nn.MLPHead
+	spanNames []string // precomputed per-layer profiling span names
 }
 
 // NewGAT builds a GAT predictor.
@@ -293,6 +316,7 @@ func NewGAT(rng *rand.Rand, cfg GATConfig) *GAT {
 			l.aDst = append(l.aDst, ag.NewParam(name+".ad", tensor.RandUniform(rng, hd, 1, -0.3, 0.3)))
 		}
 		m.layers = append(m.layers, l)
+		m.spanNames = append(m.spanNames, "l"+strconv.Itoa(i))
 		in = cfg.Dim
 	}
 	m.head = nn.NewMLPHead(rng, "gat.head", cfg.Dim, cfg.Dim)
@@ -308,7 +332,8 @@ func (m *GAT) Spec() ModelSpec { return ModelSpec{Arch: "GAT", GAT: m.cfg} }
 // Predict implements Model.
 func (m *GAT) Predict(ctx *ag.Context, e *stage.Encoded) *ag.Node {
 	x := ctx.Const(e.X)
-	for _, l := range m.layers {
+	for i, l := range m.layers {
+		ls := ctx.StartLayer(m.spanNames[i])
 		heads := make([]*ag.Node, l.numHeads)
 		for h := 0; h < l.numHeads; h++ {
 			wh := l.w[h].Forward(ctx, x) // N×hd
@@ -319,8 +344,12 @@ func (m *GAT) Predict(ctx *ag.Context, e *stage.Encoded) *ag.Node {
 			heads[h] = ctx.MatMul(attn, wh)
 		}
 		x = ctx.ReLU(ctx.ConcatCols(heads...))
+		ls.End()
 	}
-	return m.head.Forward(ctx, ctx.Scale(ctx.SumRows(x), poolScale))
+	ls := ctx.StartLayer("head")
+	out := m.head.Forward(ctx, ctx.Scale(ctx.SumRows(x), poolScale))
+	ls.End()
+	return out
 }
 
 // Params implements nn.Module.

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"predtop/internal/ir"
+	"predtop/internal/obs"
 )
 
 // Config describes a benchmark model (Table IV).
@@ -85,6 +86,11 @@ type Segment struct {
 type Model struct {
 	Config   Config
 	Segments []Segment
+	// Prof, when non-nil, times every StageGraph emission as a
+	// "stage_graph[lo:hi)" span — the planner's latency queries rebuild
+	// stage graphs constantly, so this is where simulator-side time goes.
+	// A nil profiler costs nothing (obs no-op contract).
+	Prof *obs.Profiler
 }
 
 // Build constructs the segment list for cfg.
@@ -141,6 +147,10 @@ func (m *Model) TotalParams() int64 {
 func (m *Model) StageGraph(lo, hi int, backward bool) *ir.Graph {
 	if lo < 0 || hi > len(m.Segments) || lo >= hi {
 		panic(fmt.Sprintf("models: bad stage range [%d,%d) of %d", lo, hi, len(m.Segments)))
+	}
+	if m.Prof.Enabled() { // skip span-name formatting when profiling is off
+		sp := m.Prof.Start(fmt.Sprintf("stage_graph[%d:%d)", lo, hi))
+		defer sp.End()
 	}
 	c := m.Config
 	b := ir.NewBuilder()

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWritePromGolden pins the text exposition byte-for-byte: deterministic
+// name ordering, cumulative histogram buckets, the +Inf bucket equal to
+// _count, and the built-in dropped-samples counter.
+func TestWritePromGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("train_batches_total").Add(12)
+	r.Gauge("runtime_goroutines").Set(9)
+	h := r.Histogram("batch_seconds", []float64{0.5, 1, 2})
+	for _, v := range []float64{0.1, 0.7, 0.7, 1.5, 100} {
+		h.Observe(v) // 1 in ≤0.5, 2 in ≤1, 1 in ≤2, 1 overflow
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE batch_seconds histogram",
+		`batch_seconds_bucket{le="0.5"} 1`,
+		`batch_seconds_bucket{le="1"} 3`,
+		`batch_seconds_bucket{le="2"} 4`,
+		`batch_seconds_bucket{le="+Inf"} 5`,
+		"batch_seconds_sum 103",
+		"batch_seconds_count 5",
+		"# TYPE obs_dropped_samples_total counter",
+		"obs_dropped_samples_total 0",
+		"# TYPE runtime_goroutines gauge",
+		"runtime_goroutines 9",
+		"# TYPE train_batches_total counter",
+		"train_batches_total 12",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePromSparseBuckets: Snapshot omits empty buckets; the cumulative
+// exposition must still end with a +Inf bucket equal to _count.
+func TestWritePromSparseBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 10, 100})
+	h.Observe(50) // only the ≤100 bucket is hit
+	h.Observe(1e6)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		`h_bucket{le="100"} 1`,
+		`h_bucket{le="+Inf"} 2`,
+		"h_count 2",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing %q in:\n%s", line, out)
+		}
+	}
+	if strings.Contains(out, `le="1"`) || strings.Contains(out, `le="10"`) {
+		t.Fatalf("empty buckets leaked into exposition:\n%s", out)
+	}
+}
+
+// TestWritePromDeterministic: two renders of the same registry are
+// byte-identical (map iteration must never leak into the output).
+func TestWritePromDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.Counter(name).Inc()
+	}
+	r.Histogram("hist_b", nil).Observe(1)
+	r.Histogram("hist_a", nil).Observe(2)
+	var a, b bytes.Buffer
+	if err := r.WriteProm(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("non-deterministic exposition:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	idx := func(s string) int { return strings.Index(a.String(), s) }
+	if !(idx("alpha") < idx("hist_a") && idx("hist_a") < idx("hist_b") && idx("hist_b") < idx("mid") && idx("mid") < idx("zeta")) {
+		t.Fatalf("exposition not name-sorted:\n%s", a.String())
+	}
+}
+
+// TestWritePromNilRegistry: a nil registry writes an empty (valid)
+// exposition.
+func TestWritePromNilRegistry(t *testing.T) {
+	var r *Registry
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", buf.String())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"train_batches_total": "train_batches_total",
+		"ns:counter":          "ns:counter",
+		"batch.seconds":       "batch_seconds",
+		"grid cell/MRE%":      "grid_cell_MRE_",
+		"9lives":              "_9lives",
+		"":                    "_",
+		"a-b-c":               "a_b_c",
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

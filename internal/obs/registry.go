@@ -17,6 +17,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -32,15 +33,26 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	// dropped counts non-finite samples rejected by Gauge.Set and
+	// Histogram.Observe (exported as obs_dropped_samples_total), so a run
+	// that computed a NaN is visible instead of corrupting the exposition.
+	dropped *Counter
 }
+
+// DroppedSamplesMetric is the counter every registry carries from birth: the
+// number of NaN/±Inf samples rejected by Gauge.Set and Histogram.Observe.
+const DroppedSamplesMetric = "obs_dropped_samples_total"
 
 // NewRegistry returns an empty enabled registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	r := &Registry{
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
+		dropped:    &Counter{},
 	}
+	r.counters[DroppedSamplesMetric] = r.dropped
+	return r
 }
 
 // Counter returns the named counter, creating it if needed. A nil registry
@@ -69,7 +81,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
-		g = &Gauge{}
+		g = &Gauge{dropped: r.dropped}
 		r.gauges[name] = g
 	}
 	return g
@@ -90,7 +102,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		if len(bounds) == 0 {
 			bounds = DefBuckets
 		}
-		h = &Histogram{bounds: append([]float64(nil), bounds...)}
+		h = &Histogram{bounds: append([]float64(nil), bounds...), dropped: r.dropped}
 		h.counts = make([]atomic.Int64, len(h.bounds)+1)
 		r.histograms[name] = h
 	}
@@ -123,13 +135,22 @@ func (c *Counter) Value() int64 {
 }
 
 // Gauge is a last-value-wins float metric.
-type Gauge struct{ bits atomic.Uint64 }
+type Gauge struct {
+	bits    atomic.Uint64
+	dropped *Counter
+}
 
-// Set records v. No-op on nil.
+// Set records v. No-op on nil. A NaN or ±Inf value is dropped (and counted
+// in obs_dropped_samples_total) so exposition output stays finite.
 func (g *Gauge) Set(v float64) {
-	if g != nil {
-		g.bits.Store(math.Float64bits(v))
+	if g == nil {
+		return
 	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		g.dropped.Inc()
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
 }
 
 // Value returns the last set value (0 on nil).
@@ -144,15 +165,22 @@ func (g *Gauge) Value() float64 {
 // observations v ≤ bounds[i] (first matching bucket), and the final slot
 // holds the overflow beyond the last bound.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Int64
-	count  atomic.Int64
-	sum    atomicFloat
+	bounds  []float64
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sum     atomicFloat
+	dropped *Counter
 }
 
-// Observe records v. No-op on nil; allocation-free otherwise.
+// Observe records v. No-op on nil; allocation-free otherwise. A NaN or ±Inf
+// observation is dropped (and counted in obs_dropped_samples_total) so the
+// histogram sum stays finite.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.dropped.Inc()
 		return
 	}
 	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
@@ -219,17 +247,42 @@ func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()
 
 // DefBuckets is the default latency bucket ladder: 1 µs to ~67 s in powers
 // of four, wide enough for both per-batch timings and whole-grid runs.
-var DefBuckets = ExpBuckets(1e-6, 4, 14)
+var DefBuckets = MustExpBuckets(1e-6, 4, 14)
 
 // ExpBuckets returns n exponential bucket bounds lo, lo·factor, lo·factor², …
-func ExpBuckets(lo, factor float64, n int) []float64 {
+// It rejects degenerate layouts: lo must be positive and finite, factor > 1,
+// and n >= 1 (anything else would produce non-ascending or non-finite
+// bounds, which Histogram's binary search silently misclassifies).
+func ExpBuckets(lo, factor float64, n int) ([]float64, error) {
+	if !(lo > 0) || math.IsInf(lo, 1) {
+		return nil, fmt.Errorf("obs: ExpBuckets lo must be a positive finite number, got %v", lo)
+	}
+	if !(factor > 1) || math.IsInf(factor, 1) {
+		return nil, fmt.Errorf("obs: ExpBuckets factor must be a finite number > 1, got %v", factor)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("obs: ExpBuckets needs n >= 1 buckets, got %d", n)
+	}
 	out := make([]float64, n)
 	v := lo
 	for i := range out {
+		if math.IsInf(v, 1) {
+			return nil, fmt.Errorf("obs: ExpBuckets overflows to +Inf at bucket %d (lo=%v factor=%v)", i, lo, factor)
+		}
 		out[i] = v
 		v *= factor
 	}
-	return out
+	return out, nil
+}
+
+// MustExpBuckets is ExpBuckets for static layouts; it panics on invalid
+// arguments.
+func MustExpBuckets(lo, factor float64, n int) []float64 {
+	b, err := ExpBuckets(lo, factor, n)
+	if err != nil {
+		panic(err)
+	}
+	return b
 }
 
 // BucketCount is one histogram bucket in a snapshot: the count of

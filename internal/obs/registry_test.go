@@ -58,15 +58,44 @@ func TestSnapshotSortedAndKinds(t *testing.T) {
 	r.Gauge("a_gauge").Set(1)
 	r.Histogram("m_hist", nil).Observe(0.01)
 	snap := r.Snapshot()
-	if len(snap) != 3 {
+	// Every registry carries obs_dropped_samples_total from birth.
+	if len(snap) != 4 {
 		t.Fatalf("snapshot size %d", len(snap))
 	}
-	names := []string{snap[0].Name, snap[1].Name, snap[2].Name}
-	if names[0] != "a_gauge" || names[1] != "m_hist" || names[2] != "z_count" {
-		t.Fatalf("snapshot not sorted: %v", names)
+	names := []string{snap[0].Name, snap[1].Name, snap[2].Name, snap[3].Name}
+	want := []string{"a_gauge", "m_hist", DroppedSamplesMetric, "z_count"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot not sorted: %v", names)
+		}
 	}
-	if snap[0].Kind != "gauge" || snap[1].Kind != "histogram" || snap[2].Kind != "counter" {
+	if snap[0].Kind != "gauge" || snap[1].Kind != "histogram" || snap[2].Kind != "counter" || snap[3].Kind != "counter" {
 		t.Fatalf("kinds: %+v", snap)
+	}
+}
+
+// TestNonFiniteSamplesDropped pins the exposition-safety guard: NaN and ±Inf
+// never enter a gauge or histogram; each rejected sample bumps
+// obs_dropped_samples_total instead.
+func TestNonFiniteSamplesDropped(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(1.5)
+	g.Set(math.NaN())
+	g.Set(math.Inf(1))
+	g.Set(math.Inf(-1))
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge corrupted by non-finite Set: %v", g.Value())
+	}
+	h := r.Histogram("h", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	if h.Count() != 1 || h.Sum() != 0.5 {
+		t.Fatalf("histogram corrupted: count %d sum %v", h.Count(), h.Sum())
+	}
+	if got := r.Counter(DroppedSamplesMetric).Value(); got != 5 {
+		t.Fatalf("dropped-samples counter %d, want 5", got)
 	}
 }
 
@@ -162,11 +191,46 @@ func TestConcurrentInstruments(t *testing.T) {
 }
 
 func TestExpBuckets(t *testing.T) {
-	b := ExpBuckets(1, 2, 4)
+	b, err := ExpBuckets(1, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []float64{1, 2, 4, 8}
 	for i := range want {
 		if b[i] != want[i] {
 			t.Fatalf("bucket %d: %v want %v", i, b[i], want[i])
 		}
 	}
+}
+
+// TestExpBucketsRejectsDegenerate: every argument that would yield a
+// non-ascending or non-finite ladder must be an explicit error, and
+// MustExpBuckets must panic on the same inputs.
+func TestExpBucketsRejectsDegenerate(t *testing.T) {
+	bad := []struct {
+		lo, factor float64
+		n          int
+	}{
+		{0, 2, 4},           // lo not positive
+		{-1, 2, 4},          // negative lo
+		{math.NaN(), 2, 4},  // NaN lo
+		{math.Inf(1), 2, 4}, // infinite lo
+		{1, 1, 4},           // factor not > 1
+		{1, 0.5, 4},         // shrinking factor
+		{1, math.NaN(), 4},  // NaN factor
+		{1, 2, 0},           // no buckets
+		{1, 2, -3},          // negative count
+		{1e300, 1e300, 4},   // overflows to +Inf mid-ladder
+	}
+	for _, c := range bad {
+		if _, err := ExpBuckets(c.lo, c.factor, c.n); err == nil {
+			t.Errorf("ExpBuckets(%v, %v, %d): want error, got none", c.lo, c.factor, c.n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustExpBuckets did not panic on invalid input")
+		}
+	}()
+	MustExpBuckets(0, 2, 4)
 }

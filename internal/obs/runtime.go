@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime gauge names published by SampleRuntime / RuntimeSampler.
+const (
+	MetricGoroutines      = "runtime_goroutines"
+	MetricHeapAllocBytes  = "runtime_heap_alloc_bytes"
+	MetricHeapSysBytes    = "runtime_heap_sys_bytes"
+	MetricHeapObjects     = "runtime_heap_objects"
+	MetricGCPauseSeconds  = "runtime_gc_pause_seconds_total"
+	MetricGCCycles        = "runtime_gc_cycles_total"
+	MetricNumCPU          = "runtime_num_cpu"
+	MetricGomaxprocs      = "runtime_gomaxprocs"
+	MetricRuntimeSamples  = "runtime_samples_total"
+	MetricSampleIntervalS = "runtime_sample_interval_seconds"
+)
+
+// SampleRuntime takes one snapshot of the Go runtime — goroutine count, heap
+// bytes and objects, cumulative GC pauses and cycles, CPU counts — into
+// gauges on reg. It is what the RuntimeSampler ticker calls; one-shot callers
+// (e.g. just before a final metrics dump) can use it directly. No-op on a
+// nil registry.
+//
+// Note runtime.ReadMemStats stops the world briefly; the default sampler
+// interval keeps that cost far below the sampled workloads.
+func SampleRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge(MetricGoroutines).Set(float64(runtime.NumGoroutine()))
+	reg.Gauge(MetricHeapAllocBytes).Set(float64(ms.HeapAlloc))
+	reg.Gauge(MetricHeapSysBytes).Set(float64(ms.HeapSys))
+	reg.Gauge(MetricHeapObjects).Set(float64(ms.HeapObjects))
+	reg.Gauge(MetricGCPauseSeconds).Set(float64(ms.PauseTotalNs) / 1e9)
+	reg.Gauge(MetricGCCycles).Set(float64(ms.NumGC))
+	reg.Gauge(MetricNumCPU).Set(float64(runtime.NumCPU()))
+	reg.Gauge(MetricGomaxprocs).Set(float64(runtime.GOMAXPROCS(0)))
+	reg.Counter(MetricRuntimeSamples).Inc()
+}
+
+// RuntimeSampler periodically feeds SampleRuntime into a registry so a live
+// /metrics scrape shows current process health, not just workload counters.
+// All instruments it touches are the registry's ordinary atomic gauges, so
+// sampling races cleanly with concurrent Snapshot/WriteProm calls.
+type RuntimeSampler struct {
+	reg      *Registry
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	once     sync.Once
+}
+
+// DefaultSampleInterval is the RuntimeSampler cadence when none is given.
+const DefaultSampleInterval = time.Second
+
+// StartRuntimeSampler samples reg every interval (<= 0 selects
+// DefaultSampleInterval) until Stop is called. One synchronous sample is
+// taken before returning, so gauges are populated even if the caller stops
+// the sampler within the first tick. A nil registry returns a nil (inert)
+// sampler.
+func StartRuntimeSampler(reg *Registry, interval time.Duration) *RuntimeSampler {
+	if reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	s := &RuntimeSampler{
+		reg:      reg,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	reg.Gauge(MetricSampleIntervalS).Set(interval.Seconds())
+	SampleRuntime(reg)
+	go s.loop()
+	return s
+}
+
+func (s *RuntimeSampler) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			SampleRuntime(s.reg)
+		}
+	}
+}
+
+// Stop halts the sampler and waits for its goroutine to exit. Idempotent and
+// nil-safe.
+func (s *RuntimeSampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSampleRuntimePopulatesGauges(t *testing.T) {
+	r := NewRegistry()
+	SampleRuntime(r)
+	for _, name := range []string{
+		MetricGoroutines, MetricHeapAllocBytes, MetricHeapSysBytes,
+		MetricGCCycles, MetricNumCPU, MetricGomaxprocs,
+	} {
+		if v := r.Gauge(name).Value(); v < 0 || (name != MetricGCCycles && v == 0) {
+			t.Errorf("%s = %v after sampling", name, v)
+		}
+	}
+	if got := r.Counter(MetricRuntimeSamples).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricRuntimeSamples, got)
+	}
+	SampleRuntime(nil) // nil registry must be a no-op
+}
+
+// TestRuntimeSamplerTicks: the sampler must take its synchronous first
+// sample immediately and keep sampling on the ticker until stopped.
+func TestRuntimeSamplerTicks(t *testing.T) {
+	r := NewRegistry()
+	s := StartRuntimeSampler(r, time.Millisecond)
+	if got := r.Counter(MetricRuntimeSamples).Value(); got < 1 {
+		t.Fatalf("no synchronous first sample (count %d)", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Counter(MetricRuntimeSamples).Value() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Stop()
+	if got := r.Counter(MetricRuntimeSamples).Value(); got < 3 {
+		t.Fatalf("sampler ticked %d times in 2s", got)
+	}
+	after := r.Counter(MetricRuntimeSamples).Value()
+	time.Sleep(5 * time.Millisecond)
+	if got := r.Counter(MetricRuntimeSamples).Value(); got != after {
+		t.Fatalf("sampler still running after Stop: %d -> %d", after, got)
+	}
+	s.Stop() // idempotent
+	var nilSampler *RuntimeSampler
+	nilSampler.Stop() // nil-safe
+	if StartRuntimeSampler(nil, time.Millisecond) != nil {
+		t.Fatal("nil registry must yield a nil sampler")
+	}
+}
+
+// TestRuntimeSamplerRacesWithSnapshot: the sampler's gauge writes must race
+// cleanly with concurrent Snapshot and exposition renders (run under -race).
+func TestRuntimeSamplerRacesWithSnapshot(t *testing.T) {
+	r := NewRegistry()
+	s := StartRuntimeSampler(r, 100*time.Microsecond)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if snap := r.Snapshot(); len(snap) == 0 {
+					t.Error("empty snapshot during sampling")
+					return
+				}
+				r.Counter("work").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	s.Stop()
+	if r.Counter("work").Value() != 800 {
+		t.Fatalf("lost counter increments: %d", r.Counter("work").Value())
+	}
+}

@@ -50,7 +50,12 @@ func TestSinkEmitMetrics(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
 		t.Fatal(err)
 	}
-	if got.Event != "metrics" || len(got.Metrics) != 1 || got.Metrics[0].Value != 7 {
+	// Snapshot carries the explicit counter plus the built-in
+	// obs_dropped_samples_total.
+	if got.Event != "metrics" || len(got.Metrics) != 2 {
+		t.Fatalf("metrics record: %+v", got)
+	}
+	if got.Metrics[1].Name != "x" || got.Metrics[1].Value != 7 {
 		t.Fatalf("metrics record: %+v", got)
 	}
 }

@@ -101,24 +101,27 @@ func (t *TraceBuilder) Since() float64 {
 	return time.Since(t.epoch).Seconds()
 }
 
-// Begin opens a wall-clock span on the named track; the returned Span's End
-// appends the completed slice. An inert Span (nil builder) costs nothing.
-func (t *TraceBuilder) Begin(track, name string) Span {
+// Begin opens a wall-clock span on the named track; the returned TraceSpan's
+// End appends the completed slice. An inert TraceSpan (nil builder) costs
+// nothing.
+func (t *TraceBuilder) Begin(track, name string) TraceSpan {
 	if t == nil {
-		return Span{}
+		return TraceSpan{}
 	}
-	return Span{t: t, track: track, name: name, start: time.Since(t.epoch)}
+	return TraceSpan{t: t, track: track, name: name, start: time.Since(t.epoch)}
 }
 
-// Span is an in-flight wall-clock trace slice (see TraceBuilder.Begin).
-type Span struct {
+// TraceSpan is an in-flight wall-clock trace slice (see TraceBuilder.Begin).
+// Unlike the hierarchical Span (span.go), it records a single timeline slice
+// and performs no aggregation.
+type TraceSpan struct {
 	t           *TraceBuilder
 	track, name string
 	start       time.Duration
 }
 
 // End completes the span. No-op on an inert span.
-func (s Span) End() {
+func (s TraceSpan) End() {
 	if s.t == nil {
 		return
 	}
@@ -184,14 +187,15 @@ func (t *TraceBuilder) WriteFile(path string) error {
 	return f.Close()
 }
 
-// Observer bundles the three observability outputs a long-running path can
-// report to. Any field — or the Observer itself — may be nil; the accessor
-// methods make a nil Observer fully inert, so APIs thread a single *Observer
-// instead of three optional parameters.
+// Observer bundles the observability outputs a long-running path can report
+// to. Any field — or the Observer itself — may be nil; the accessor methods
+// make a nil Observer fully inert, so APIs thread a single *Observer instead
+// of four optional parameters.
 type Observer struct {
 	Metrics *Registry
 	Events  *Sink
 	Trace   *TraceBuilder
+	Prof    *Profiler
 }
 
 // Registry returns the metrics registry (nil when absent).
@@ -216,4 +220,12 @@ func (o *Observer) Tracer() *TraceBuilder {
 		return nil
 	}
 	return o.Trace
+}
+
+// Profiler returns the span profiler (nil when absent).
+func (o *Observer) Profiler() *Profiler {
+	if o == nil {
+		return nil
+	}
+	return o.Prof
 }

@@ -7,8 +7,10 @@
 package planner
 
 import (
+	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"predtop/internal/cluster"
 	"predtop/internal/intraop"
@@ -37,6 +39,11 @@ type Options struct {
 	// planner_best_latency gauge, and the planner_optimize_seconds
 	// histogram. Observation only — a nil registry changes nothing.
 	Metrics *obs.Registry
+	// Prof, when non-nil, receives hierarchical spans for the search:
+	// planner.optimize → estimate (one child per (stage, mesh) pair) and
+	// dp (one folded "tmax" child across the t_max sweep). Like Metrics,
+	// a nil profiler is a zero-cost no-op and never alters the plan.
+	Prof *obs.Profiler
 }
 
 func (o Options) withDefaults() Options {
@@ -73,6 +80,14 @@ func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (
 	meshes := cluster.Meshes(p)
 	totalDev := p.Nodes * p.GPUsPerNode
 
+	root := opt.Prof.Start("planner.optimize")
+	defer root.End()
+	if root.Enabled() { // skip string formatting when profiling is off
+		root.Attr("segments", strconv.Itoa(numSegments))
+		root.Attr("meshes", strconv.Itoa(len(meshes)))
+		root.Attr("devices", strconv.Itoa(totalDev))
+	}
+
 	// Memoize estimates for every feasible (stage, mesh) pair.
 	type pairKey struct {
 		lo, hi, mesh int
@@ -83,16 +98,24 @@ func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (
 	if maxLen <= 0 || maxLen > numSegments {
 		maxLen = numSegments
 	}
+	estSpan := root.Start("estimate")
 	for _, sp := range stage.AllSpecs(numSegments, maxLen) {
 		for mi, mesh := range meshes {
 			queries.Inc()
-			if t, ok := lat(sp, mesh); ok && t > 0 && !math.IsInf(t, 1) {
+			var ps obs.Span
+			if estSpan.Enabled() {
+				ps = estSpan.Start(fmt.Sprintf("s%d:%d/m%d", sp.Lo, sp.Hi, mi))
+			}
+			t, ok := lat(sp, mesh)
+			ps.End()
+			if ok && t > 0 && !math.IsInf(t, 1) {
 				feasible.Inc()
 				est[pairKey{sp.Lo, sp.Hi, mi}] = t
 				candidates = append(candidates, t)
 			}
 		}
 	}
+	estSpan.End()
 	if len(candidates) == 0 {
 		searchTimer.Stop()
 		return Plan{}, false
@@ -114,7 +137,9 @@ func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (
 
 	tmaxes := dedup(candidates)
 	reg.Counter("planner_tmax_candidates").Add(int64(len(tmaxes)))
+	dpSpan := root.Start("dp")
 	for _, tmax := range tmaxes {
+		it := dpSpan.Start("tmax")
 		for k := numSegments; k >= 0; k-- {
 			for d := 0; d <= totalDev; d++ {
 				if k == numSegments {
@@ -153,7 +178,9 @@ func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (
 				reg.Counter("planner_improvements").Inc()
 			}
 		}
+		it.End()
 	}
+	dpSpan.End()
 	searchTimer.Stop()
 	if math.IsInf(bestT, 1) {
 		return Plan{}, false

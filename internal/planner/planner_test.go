@@ -3,12 +3,14 @@ package planner
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"predtop/internal/cluster"
 	"predtop/internal/graphnn"
 	"predtop/internal/ir"
 	"predtop/internal/models"
+	"predtop/internal/obs"
 	"predtop/internal/pipeline"
 	"predtop/internal/predictor"
 	"predtop/internal/sim"
@@ -322,6 +324,40 @@ func TestPredictorKindStrings(t *testing.T) {
 	for _, k := range []PredictorKind{KindTransformer, KindGCN, KindGAT} {
 		if k.String() == "PredTOP-?" {
 			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+}
+
+// TestOptimizeProfiledIdenticalPlan: attaching a span profiler must not
+// change the plan, and must build the planner.optimize → estimate/dp tree
+// with one span per (stage, mesh) pair.
+func TestOptimizeProfiledIdenticalPlan(t *testing.T) {
+	p := cluster.Platform1()
+	ref, ok := Optimize(4, p, syntheticLatency, Options{Microbatches: 8})
+	if !ok {
+		t.Fatal("no reference plan")
+	}
+	prof := obs.NewProfiler()
+	got, ok := Optimize(4, p, syntheticLatency, Options{Microbatches: 8, Prof: prof})
+	if !ok {
+		t.Fatal("no profiled plan")
+	}
+	if got.Est != ref.Est || len(got.Stages) != len(ref.Stages) {
+		t.Fatalf("profiling changed the plan: %+v vs %+v", got, ref)
+	}
+	for i := range ref.Stages {
+		if got.Stages[i] != ref.Stages[i] || got.Meshes[i].NumDevices() != ref.Meshes[i].NumDevices() {
+			t.Fatalf("profiling changed stage %d", i)
+		}
+	}
+	var buf strings.Builder
+	if err := prof.WriteProfileTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tree := buf.String()
+	for _, want := range []string{"planner.optimize", "  estimate", "    s0:1/m0", "  dp", "    tmax"} {
+		if !strings.Contains(tree, want+" ") {
+			t.Fatalf("planner profile missing %q:\n%s", want, tree)
 		}
 	}
 }

@@ -81,6 +81,13 @@ type TrainHooks struct {
 	// train_samples_total, train_batch_seconds, train_epoch_seconds). A nil
 	// registry is a zero-allocation no-op on the minibatch hot path.
 	Metrics *obs.Registry
+	// Profiler, when non-nil, receives hierarchical phase spans
+	// (train → data / batch{sample, step} / eval) with per-layer
+	// forward/backward attribution from the model tapes. Like Metrics, a
+	// nil profiler keeps every span inert and allocation-free, and spans
+	// only observe — trained weights stay bitwise identical with profiling
+	// on or off.
+	Profiler *obs.Profiler
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -153,17 +160,32 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 	params := model.Params()
 	opt := optim.NewAdam(params)
 
+	// Phase spans nest under one "train" root; with no profiler attached
+	// every span below is the inert zero Span (guarded, like the metrics
+	// instruments, by TestNilRegistryHotPathZeroAlloc).
+	hooks := cfg.Hooks
+	var prof *obs.Profiler
+	if hooks != nil {
+		prof = hooks.Profiler
+	}
+	trainSpan := prof.Start("train")
+	defer trainSpan.End()
+
 	// Forward-only tapes for evaluation, pooled across workers and epochs.
 	ctxPool := parallel.NewPool(ag.NewContext)
 	lossOf := func(idx []int) float64 {
 		if len(idx) == 0 {
 			return 0
 		}
+		es := trainSpan.Start("eval")
 		total := parallel.MapReduce(len(idx), cfg.Workers, func(k int) float64 {
 			s := &ds.Samples[idx[k]]
 			ctx := ctxPool.Get()
 			ctx.Reset()
+			ss := es.Start("sample")
+			ctx.SetSpan(ss)
 			pred := model.Predict(ctx, s.Encoded).Value().At(0, 0)
+			ss.End()
 			ctxPool.Put(ctx)
 			diff := pred - s.Measured/scale
 			if cfg.Loss == MSE {
@@ -171,6 +193,7 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 			}
 			return math.Abs(diff)
 		}, func(a, b float64) float64 { return a + b })
+		es.End()
 		return total / float64(len(idx))
 	}
 
@@ -185,7 +208,6 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 	// Instruments resolve to nil on a nil registry, making every hot-path
 	// observation below a zero-allocation no-op (guarded by
 	// TestNilRegistryHotPathZeroAlloc).
-	hooks := cfg.Hooks
 	var reg *obs.Registry
 	if hooks != nil {
 		reg = hooks.Metrics
@@ -206,7 +228,9 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		et := epochTimer.Start()
 		lr := optim.CosineDecay(cfg.BaseLR, epoch, cfg.Epochs)
+		dsp := trainSpan.Start("data")
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		dsp.End()
 		epochLoss, normSum, numBatches := 0.0, 0.0, 0
 		for lo := 0; lo < len(order); lo += cfg.BatchSize {
 			hi := lo + cfg.BatchSize
@@ -215,11 +239,17 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 			}
 			batch := order[lo:hi]
 			bt := batchTimer.Start()
+			bs := trainSpan.Start("batch")
 			parallel.ForLimit(len(batch), cfg.Workers, func(k int) {
 				s := &ds.Samples[batch[k]]
 				ctx := tapes[k]
 				ctx.Reset()
 				bufs[k].Zero()
+				// Per-sample span: the model's layer marks nest under it
+				// for forward timing, and Backward hangs its per-layer
+				// attribution subtree off the same node.
+				ss := bs.Start("sample")
+				ctx.SetSpan(ss)
 				pred := model.Predict(ctx, s.Encoded)
 				target := tensor.Full(1, 1, s.Measured/scale)
 				var loss *ag.Node
@@ -230,11 +260,15 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 				}
 				lossVals[k] = loss.Value().At(0, 0)
 				ctx.Backward(loss)
+				ss.End()
 			})
+			st := bs.Start("step")
 			optim.ReduceGrads(params, bufs[:len(batch)])
 			optim.ScaleGrads(params, 1/float64(len(batch)))
 			norm := optim.ClipGradNorm(params, cfg.ClipNorm)
 			opt.Step(lr)
+			st.End()
+			bs.End()
 			bt.Stop()
 			batchCtr.Inc()
 			sampleCtr.Add(int64(len(batch)))

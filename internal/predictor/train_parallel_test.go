@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"predtop/internal/graphnn"
@@ -49,10 +50,15 @@ func TestParallelTrainingBitwiseDeterministic(t *testing.T) {
 					Epochs: 3, Patience: 3, BatchSize: 5, Seed: 13, Workers: workers,
 				}
 				if hooked {
+					// The hooked case carries the full observation surface
+					// — metrics AND span profiling (per-layer forward/
+					// backward attribution) — so the table proves profiled
+					// runs are bitwise identical too.
 					cfg.Hooks = &TrainHooks{
 						OnEpoch:   func(EpochStats) {},
 						OnRestore: func(int, float64) {},
 						Metrics:   obs.NewRegistry(),
+						Profiler:  obs.NewProfiler(),
 					}
 				}
 				return Train(buildArch(arch, 42), ds, trainIdx, valIdx, cfg)
@@ -200,21 +206,74 @@ func TestTrainEarlyStopHook(t *testing.T) {
 }
 
 // TestNilRegistryHotPathZeroAlloc guards the obs no-op contract where it
-// matters: the exact instruments the minibatch hot path uses, resolved from
-// a disabled (nil) registry, must add zero allocations per batch.
+// matters: the exact instruments the minibatch hot path uses — metrics from
+// a disabled (nil) registry AND the phase/sample spans from a disabled (nil)
+// profiler — must add zero allocations per batch.
 func TestNilRegistryHotPathZeroAlloc(t *testing.T) {
 	var reg *obs.Registry
 	batchTimer := reg.Histogram("train_batch_seconds", nil)
 	batchCtr := reg.Counter("train_batches_total")
 	sampleCtr := reg.Counter("train_samples_total")
+	var prof *obs.Profiler
+	trainSpan := prof.Start("train")
 	allocs := testing.AllocsPerRun(500, func() {
 		bt := batchTimer.Start()
+		bs := trainSpan.Start("batch")
+		ss := bs.Start("sample")
+		ss.End()
+		st := bs.Start("step")
+		st.End()
+		bs.End()
 		bt.Stop()
 		batchCtr.Inc()
 		sampleCtr.Add(32)
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled instrumentation allocated %.1f per batch", allocs)
+	}
+}
+
+// TestTrainProfilerBuildsPhaseTree: with a profiler attached, one short run
+// must produce the train → data/batch{sample,step}/eval phase tree with
+// per-layer forward spans and a backward attribution subtree under sample.
+func TestTrainProfilerBuildsPhaseTree(t *testing.T) {
+	_, ds := smallDataset(t, 12)
+	n := len(ds.Samples)
+	var trainIdx, valIdx []int
+	for i := 0; i < n; i++ {
+		if i%3 == 2 {
+			valIdx = append(valIdx, i)
+		} else {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	prof := obs.NewProfiler()
+	Train(buildArch("Tran", 42), ds, trainIdx, valIdx, TrainConfig{
+		Epochs: 2, Patience: 2, BatchSize: 5, Seed: 13, Workers: 4,
+		Hooks: &TrainHooks{Profiler: prof},
+	})
+	var buf strings.Builder
+	if err := prof.WriteProfileTree(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tree := buf.String()
+	for _, want := range []string{
+		"train", "  data", "  batch", "    sample", "    step", "  eval",
+		"      embed", "      l0.attn", "      l0.ffn", "      head",
+		"      backward", "        l0.attn",
+	} {
+		if !strings.Contains(tree, want+" ") {
+			t.Fatalf("profile tree missing %q:\n%s", want, tree)
+		}
+	}
+	// The same instrumentation points must render identically on a second
+	// pass — the report is deterministic in layout.
+	var again strings.Builder
+	if err := prof.WriteProfileTree(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != tree {
+		t.Fatal("profile tree render not deterministic")
 	}
 }
 

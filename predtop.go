@@ -42,8 +42,10 @@
 package predtop
 
 import (
+	"context"
 	"io"
 	"math/rand"
+	"time"
 
 	"predtop/internal/cluster"
 	"predtop/internal/graphnn"
@@ -271,6 +273,22 @@ type (
 	TraceBuilder = obs.TraceBuilder
 	// ProgressLogger prints progress lines unless quiet (or nil).
 	ProgressLogger = obs.Logger
+	// SpanProfiler aggregates nested timed spans into a deterministic
+	// self-time profile tree (see TrainHooks.Profiler, PlanOptions.Prof, and
+	// Model.Prof). A nil profiler and its spans are inert no-ops.
+	SpanProfiler = obs.Profiler
+	// ProfileSpan is one timed region of a SpanProfiler; the zero value is
+	// inert, so spans can be threaded unconditionally.
+	ProfileSpan = obs.Span
+	// MetricsServer serves live telemetry over HTTP: GET /metrics in
+	// Prometheus text exposition format, GET /healthz, and the stdlib
+	// profiling handlers under /debug/pprof/.
+	MetricsServer = obs.Server
+	// MetricsServerConfig configures StartMetricsServer.
+	MetricsServerConfig = obs.ServerConfig
+	// RuntimeSampler periodically snapshots Go runtime health (goroutines,
+	// heap, GC) into a MetricsRegistry for live scrapes.
+	RuntimeSampler = obs.RuntimeSampler
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -285,6 +303,29 @@ func NewTrace() *TraceBuilder { return obs.NewTrace() }
 // NewProgressLogger returns a progress logger, or an inert nil logger when
 // quiet is set.
 func NewProgressLogger(w io.Writer, quiet bool) *ProgressLogger { return obs.NewLogger(w, quiet) }
+
+// NewSpanProfiler returns an empty span profiler. A nil *SpanProfiler is a
+// valid inert handle: Start returns a zero ProfileSpan and nothing is timed.
+func NewSpanProfiler() *SpanProfiler { return obs.NewProfiler() }
+
+// StartMetricsServer binds cfg.Addr and serves /metrics, /healthz, and
+// /debug/pprof/ until ctx is cancelled or Close is called. Use Addr ":0" to
+// pick a free port and read it back from MetricsServer.Addr.
+func StartMetricsServer(ctx context.Context, cfg MetricsServerConfig) (*MetricsServer, error) {
+	return obs.StartServer(ctx, cfg)
+}
+
+// StartRuntimeSampler samples Go runtime gauges into reg every interval
+// (<= 0 selects the 1s default) until Stop is called. A nil registry returns
+// a nil (inert) sampler.
+func StartRuntimeSampler(reg *MetricsRegistry, interval time.Duration) *RuntimeSampler {
+	return obs.StartRuntimeSampler(reg, interval)
+}
+
+// WriteMetricsProm writes reg as a Prometheus text exposition (version
+// 0.0.4): counters and gauges as single samples, histograms as cumulative
+// buckets with _sum and _count. A nil registry writes an empty exposition.
+func WriteMetricsProm(w io.Writer, reg *MetricsRegistry) error { return reg.WriteProm(w) }
 
 // AddPipelineSchedule appends a simulated 1F1B schedule to a trace builder:
 // one "<prefix>stage N" track per stage, one slice per microbatch task.
