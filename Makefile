@@ -2,7 +2,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench bench-compare
 
 ci: fmt vet build test race
 
@@ -32,7 +32,18 @@ race:
 
 # Paper-artifact benchmarks at the quick preset; one iteration each.
 # `make bench` also archives the run as a timestamped BENCH_<date>.json
-# (go test -json event stream) for cross-commit comparison.
-BENCH_FILE := BENCH_$(shell date +%Y-%m-%d).json
+# (go test -json event stream) for cross-commit comparison. Same-day reruns
+# never overwrite an earlier archive: the name takes a .N suffix instead, so
+# a baseline captured before an optimization survives the "after" run.
+BENCH_FILE := $(shell d=$$(date +%Y-%m-%d); f=BENCH_$$d.json; n=1; \
+	while [ -e $$f ]; do f=BENCH_$$d.$$n.json; n=$$((n+1)); done; echo $$f)
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' -json . | tee $(BENCH_FILE)
+
+# bench-compare runs the benchmarks fresh (without archiving) and prints
+# ns/op, B/op, and allocs/op deltas against the most recent BENCH_*.json.
+bench-compare:
+	@base=$$(ls -t BENCH_*.json 2>/dev/null | head -1); \
+	if [ -z "$$base" ]; then echo "no BENCH_*.json baseline; run 'make bench' first"; exit 1; fi; \
+	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' -json . | \
+		$(GO) run ./cmd/predtop-benchcmp -base $$base

@@ -1,0 +1,175 @@
+// Command predtop-benchcmp compares two benchmark runs archived as
+// `go test -json` event streams (the BENCH_<date>.json files written by
+// `make bench`) and prints per-benchmark deltas for ns/op, B/op, and
+// allocs/op. The new run may be a second file or the event stream piped on
+// stdin, which is how `make bench-compare` wires a fresh run against the
+// most recent archive:
+//
+//	go test -bench=. -benchmem -benchtime=1x -run '^$' -json . |
+//	    predtop-benchcmp -base BENCH_2026-08-06.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json record shape we need.
+type event struct {
+	Action string
+	Output string
+}
+
+// result holds one benchmark's reported metrics.
+type result struct {
+	NsPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// benchLine matches a flattened benchmark result, e.g.
+// "BenchmarkTableV_GPT3-8  1  5320812 ns/op  36.50 tran-MRE-%  576120 B/op
+// 1221516 allocs/op" — custom metrics may appear between the standard ones,
+// so B/op and allocs/op are found anywhere later on the same line.
+var benchLine = regexp.MustCompile(
+	`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:[^\n]*?\s([\d.]+) B/op)?(?:[^\n]*?\s([\d.]+) allocs/op)?`)
+
+// parseStream reads a go test -json event stream and returns the benchmark
+// results it reports. Benchmark output arrives fragmented across Output
+// events, so all fragments are concatenated before matching.
+func parseStream(r io.Reader) (map[string]result, error) {
+	var text strings.Builder
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			// Tolerate non-JSON noise (e.g. a plain `go test` line) so the
+			// tool also works on raw benchmark output.
+			text.WriteString(line + "\n")
+			continue
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]result{}
+	for _, m := range benchLine.FindAllStringSubmatch(text.String(), -1) {
+		var res result
+		res.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			res.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			res.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		out[m[1]] = res
+	}
+	return out, nil
+}
+
+func parseFile(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseStream(f)
+}
+
+// delta renders "old → new (±x%)"; a missing old value renders as new only.
+func delta(unit string, old, new float64) string {
+	if old == 0 {
+		return fmt.Sprintf("%s %s", humanize(new), unit)
+	}
+	pct := (new - old) / old * 100
+	return fmt.Sprintf("%s → %s %s (%+.1f%%)", humanize(old), humanize(new), unit, pct)
+}
+
+// humanize prints large counts with thousands separators for readability.
+func humanize(v float64) string {
+	s := strconv.FormatFloat(v, 'f', -1, 64)
+	dot := strings.IndexByte(s, '.')
+	if dot < 0 {
+		dot = len(s)
+	}
+	var b strings.Builder
+	for i, c := range s[:dot] {
+		if i > 0 && (dot-i)%3 == 0 && c != '-' {
+			b.WriteByte(',')
+		}
+		b.WriteRune(c)
+	}
+	b.WriteString(s[dot:])
+	return b.String()
+}
+
+func main() {
+	base := flag.String("base", "", "baseline BENCH_*.json archive (required)")
+	next := flag.String("new", "", "new run archive; reads the event stream from stdin when omitted")
+	flag.Parse()
+	if *base == "" {
+		fmt.Fprintln(os.Stderr, "usage: predtop-benchcmp -base BENCH_old.json [-new BENCH_new.json]")
+		os.Exit(2)
+	}
+	baseRes, err := parseFile(*base)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	var newRes map[string]result
+	if *next != "" {
+		newRes, err = parseFile(*next)
+	} else {
+		newRes, err = parseStream(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	if len(newRes) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no benchmark results in new run")
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("baseline: %s\n", *base)
+	for _, name := range names {
+		n := newRes[name]
+		b, ok := baseRes[name]
+		if !ok {
+			fmt.Printf("%s (no baseline)\n", name)
+			b = result{}
+		} else {
+			fmt.Printf("%s\n", name)
+		}
+		fmt.Printf("  %s\n", delta("ns/op", b.NsPerOp, n.NsPerOp))
+		fmt.Printf("  %s\n", delta("B/op", b.BytesPerOp, n.BytesPerOp))
+		fmt.Printf("  %s\n", delta("allocs/op", b.AllocsPerOp, n.AllocsPerOp))
+	}
+	for name := range baseRes {
+		if _, ok := newRes[name]; !ok {
+			fmt.Printf("%s: present in baseline only\n", name)
+		}
+	}
+}

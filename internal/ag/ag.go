@@ -3,8 +3,10 @@
 //
 // A Context records every operation of one forward pass. Backward walks the
 // tape in reverse, accumulating gradients into each node and, for parameter
-// leaves, into the owning Param's Grad tensor. Contexts are cheap; one is
-// created per training example (or per mini-batch element) and discarded.
+// leaves, into the owning Param's Grad tensor. Contexts are reusable: Reset
+// recycles the tape, its pooled Node storage, and — via the context's
+// tensor.Arena — every intermediate buffer of the pass, so a context that
+// has seen its largest graph allocates nothing in steady state.
 package ag
 
 import (
@@ -75,11 +77,50 @@ func (b *GradBuffer) Zero() {
 	}
 }
 
-// Node is one value on the autodiff tape.
+// opKind identifies which vector–Jacobian product Backward runs for a node.
+// Dispatching on an opcode instead of a captured closure keeps Node storage
+// poolable and the tape allocation-free in steady state.
+type opKind uint8
+
+const (
+	opConst opKind = iota // leaf: no gradient flows
+	opParam               // leaf: gradient accumulates into gdst
+	opMatMul
+	opMatMulBT
+	opLinear
+	opAdd
+	opSub
+	opMul
+	opAddBias
+	opAddOuter
+	opScale
+	opReLU
+	opLeakyReLU
+	opTanh
+	opSoftmax
+	opLayerNorm
+	opConcat
+	opSlice
+	opSumRows
+	opGather
+	opAbs
+	opMeanAll
+)
+
+// Node is one value on the autodiff tape. Nodes are owned by their Context
+// (allocated from pooled chunks) and become invalid at Reset.
 type Node struct {
 	V        *tensor.Tensor
 	grad     *tensor.Tensor
-	back     func(g *tensor.Tensor)
+	a, b, c3 *Node          // operands (c3: Linear bias / LayerNorm beta)
+	xs       []*Node        // operands of ConcatCols
+	aux      *tensor.Tensor // saved forward state (LayerNorm x-hat)
+	aux2     *tensor.Tensor // saved forward state (LayerNorm 1/σ per row, R×1)
+	gdst     *tensor.Tensor // opParam: gradient accumulation destination
+	idx      []int          // opGather row indices
+	s        float64        // opScale factor / opLeakyReLU alpha
+	lo, hi   int            // opSlice column range
+	op       opKind
 	requires bool
 }
 
@@ -90,18 +131,28 @@ func (n *Node) Value() *tensor.Tensor { return n.V }
 // non-differentiable nodes).
 func (n *Node) Grad() *tensor.Tensor { return n.grad }
 
+// nodeChunk is how many Nodes each pooled slab holds. Chunks are never
+// reallocated, so node pointers stay stable as the tape grows.
+const nodeChunk = 256
+
 // Context is one autodiff tape.
 type Context struct {
+	arena  *tensor.Arena // buffer source for every intermediate; nil = heap
+	chunks []*[nodeChunk]Node
+	nused  int // nodes handed out from chunks this generation
 	nodes  []*Node
 	params map[*Param]*Node
-	grads  *GradBuffer // nil: Backward accumulates into Param.Grad directly
-	span   obs.Span    // profiling span layer marks nest under (see profile.go)
-	marks  []layerMark // tape ranges recorded by StartLayer/End
+	grads  *GradBuffer      // nil: Backward accumulates into Param.Grad directly
+	ts     []*tensor.Tensor // scratch operand slice for ConcatCols
+	span   obs.Span         // profiling span layer marks nest under (see profile.go)
+	marks  []layerMark      // tape ranges recorded by StartLayer/End
 }
 
-// NewContext returns an empty tape accumulating into Param.Grad.
+// NewContext returns an empty tape accumulating into Param.Grad. The tape
+// owns a private arena, so intermediates are recycled on Reset; SetArena(nil)
+// opts out into plain heap allocation.
 func NewContext() *Context {
-	return &Context{params: make(map[*Param]*Node)}
+	return &Context{params: make(map[*Param]*Node), arena: tensor.NewArena()}
 }
 
 // NewContextInto returns an empty tape whose Backward accumulates parameter
@@ -113,48 +164,94 @@ func NewContextInto(b *GradBuffer) *Context {
 	return c
 }
 
-// Reset clears the tape for reuse, keeping its gradient destination and the
-// node slice's backing array (so a pooled context stops allocating once it
-// has seen its largest graph).
+// SetArena replaces the context's buffer arena. Passing nil makes every
+// intermediate a plain heap allocation (the pre-arena behavior); results are
+// bitwise identical either way. Must not be called mid-pass.
+func (c *Context) SetArena(a *tensor.Arena) { c.arena = a }
+
+// Arena returns the context's buffer arena (nil when disabled). Model code
+// may draw scratch buffers from it as long as they don't outlive Reset.
+func (c *Context) Arena() *tensor.Arena { return c.arena }
+
+// Reset clears the tape for reuse: node chunks, the params memo, layer marks,
+// and every arena-held intermediate are recycled in place, so a pooled
+// context stops allocating once it has seen its largest graph. All Nodes and
+// intermediate tensors from the previous pass become invalid.
 func (c *Context) Reset() {
-	for i := range c.nodes {
-		c.nodes[i] = nil
-	}
 	c.nodes = c.nodes[:0]
+	c.nused = 0
 	clear(c.params)
 	c.marks = c.marks[:0]
+	c.ts = c.ts[:0]
+	c.arena.Reset()
 }
 
-func (c *Context) add(n *Node) *Node {
+// newNode hands out the next pooled Node, zeroed, and records it on the tape.
+func (c *Context) newNode() *Node {
+	ci, ni := c.nused/nodeChunk, c.nused%nodeChunk
+	if ci == len(c.chunks) {
+		c.chunks = append(c.chunks, new([nodeChunk]Node))
+	}
+	n := &c.chunks[ci][ni]
+	c.nused++
+	*n = Node{}
 	c.nodes = append(c.nodes, n)
+	return n
+}
+
+func (c *Context) node(op opKind, v *tensor.Tensor, requires bool) *Node {
+	n := c.newNode()
+	n.op, n.V, n.requires = op, v, requires
 	return n
 }
 
 // Const wraps a tensor that requires no gradient.
 func (c *Context) Const(t *tensor.Tensor) *Node {
-	return c.add(&Node{V: t})
+	return c.node(opConst, t, false)
+}
+
+// Scalar returns a constant 1×1 node holding v.
+func (c *Context) Scalar(v float64) *Node {
+	t := c.arena.GetUninit(1, 1)
+	t.Data[0] = v
+	return c.Const(t)
 }
 
 // Param returns the (memoized) leaf node for p; gradients reaching it are
-// accumulated into p.Grad during Backward.
+// accumulated into p.Grad (or the context's GradBuffer) during Backward.
 func (c *Context) Param(p *Param) *Node {
 	if n, ok := c.params[p]; ok {
 		return n
 	}
-	n := c.add(&Node{V: p.V, requires: true})
-	dst := p.Grad
+	n := c.node(opParam, p.V, true)
+	n.gdst = p.Grad
 	if c.grads != nil {
-		dst = c.grads.Grad(p)
+		n.gdst = c.grads.Grad(p)
 	}
-	n.back = func(g *tensor.Tensor) { tensor.AddInPlace(dst, g) }
 	c.params[p] = n
 	return n
 }
 
-// accum adds g into n's gradient buffer.
-func (n *Node) accum(g *tensor.Tensor) {
+// accumShared adds g — a gradient buffer the caller keeps using — into n's
+// gradient. The first contribution is copied (exactly the old Clone
+// semantics, bitwise included), so later in-place accumulation into n.grad
+// never corrupts the caller's buffer.
+func (c *Context) accumShared(n *Node, g *tensor.Tensor) {
 	if n.grad == nil {
-		n.grad = g.Clone()
+		d := c.arena.GetUninit(g.R, g.C)
+		copy(d.Data, g.Data)
+		n.grad = d
+		return
+	}
+	tensor.AddInPlace(n.grad, g)
+}
+
+// accumOwn adds g — a freshly computed temporary the caller relinquishes —
+// into n's gradient, taking ownership of the buffer when it is the first
+// contribution.
+func (c *Context) accumOwn(n *Node, g *tensor.Tensor) {
+	if n.grad == nil {
+		n.grad = g
 		return
 	}
 	tensor.AddInPlace(n.grad, g)
@@ -177,7 +274,9 @@ func (c *Context) Backward(loss *Node) {
 	if loss.V.R != 1 || loss.V.C != 1 {
 		panic(fmt.Sprintf("ag: Backward needs a scalar loss, got %dx%d", loss.V.R, loss.V.C))
 	}
-	loss.grad = tensor.Full(1, 1, 1)
+	seed := c.arena.GetUninit(1, 1)
+	seed.Data[0] = 1
+	loss.grad = seed
 	if len(c.marks) > 0 && c.span.Enabled() {
 		bspan := c.span.Start("backward")
 		c.backwardProfiled(bspan)
@@ -186,226 +285,432 @@ func (c *Context) Backward(loss *Node) {
 	}
 	for i := len(c.nodes) - 1; i >= 0; i-- {
 		n := c.nodes[i]
-		if n.grad == nil || n.back == nil {
+		if n.grad == nil || !n.requires {
 			continue
 		}
-		n.back(n.grad)
+		c.runBack(n)
+	}
+}
+
+// runBack runs one node's vector–Jacobian product, scattering n.grad into
+// the gradients of its operands. Each case performs the identical floating-
+// point operations, in the identical order, as the closure it replaced, so
+// gradients are bitwise-stable across the rewrite.
+func (c *Context) runBack(n *Node) {
+	g := n.grad
+	switch n.op {
+	case opParam:
+		tensor.AddInPlace(n.gdst, g)
+
+	case opMatMul:
+		a, b := n.a, n.b
+		if a.requires {
+			d := c.arena.GetUninit(g.R, b.V.R)
+			tensor.MatMulBTInto(d, g, b.V) // dA = g·Bᵀ
+			c.accumOwn(a, d)
+		}
+		if b.requires {
+			d := c.arena.GetUninit(a.V.C, g.C)
+			tensor.MatMulATInto(d, a.V, g) // dB = Aᵀ·g
+			c.accumOwn(b, d)
+		}
+
+	case opMatMulBT:
+		a, b := n.a, n.b
+		if a.requires {
+			d := c.arena.GetUninit(g.R, b.V.C)
+			tensor.MatMulInto(d, g, b.V) // dA = g·B
+			c.accumOwn(a, d)
+		}
+		if b.requires {
+			d := c.arena.GetUninit(g.C, a.V.C)
+			tensor.MatMulATInto(d, g, a.V) // dB = gᵀ·A
+			c.accumOwn(b, d)
+		}
+
+	case opLinear:
+		x, w, bias := n.a, n.b, n.c3
+		if x.requires {
+			d := c.arena.GetUninit(g.R, w.V.R)
+			tensor.MatMulBTInto(d, g, w.V) // dX = g·Wᵀ
+			c.accumOwn(x, d)
+		}
+		if w.requires {
+			d := c.arena.GetUninit(x.V.C, g.C)
+			tensor.MatMulATInto(d, x.V, g) // dW = Xᵀ·g
+			c.accumOwn(w, d)
+		}
+		if bias.requires {
+			d := c.arena.GetUninit(1, g.C)
+			tensor.SumRowsInto(d, g)
+			c.accumOwn(bias, d)
+		}
+
+	case opAdd:
+		if n.a.requires {
+			c.accumShared(n.a, g)
+		}
+		if n.b.requires {
+			c.accumShared(n.b, g)
+		}
+
+	case opSub:
+		if n.a.requires {
+			c.accumShared(n.a, g)
+		}
+		if n.b.requires {
+			d := c.arena.GetUninit(g.R, g.C)
+			tensor.ScaleInto(d, g, -1)
+			c.accumOwn(n.b, d)
+		}
+
+	case opMul:
+		a, b := n.a, n.b
+		if a.requires {
+			d := c.arena.GetUninit(g.R, g.C)
+			tensor.MulInto(d, g, b.V)
+			c.accumOwn(a, d)
+		}
+		if b.requires {
+			d := c.arena.GetUninit(g.R, g.C)
+			tensor.MulInto(d, g, a.V)
+			c.accumOwn(b, d)
+		}
+
+	case opAddBias:
+		if n.a.requires {
+			c.accumShared(n.a, g)
+		}
+		if n.b.requires {
+			d := c.arena.GetUninit(1, g.C)
+			tensor.SumRowsInto(d, g)
+			c.accumOwn(n.b, d)
+		}
+
+	case opAddOuter:
+		a, b := n.a, n.b
+		if a.requires {
+			d := c.arena.GetUninit(g.R, 1)
+			tensor.SumColsInto(d, g)
+			c.accumOwn(a, d)
+		}
+		if b.requires {
+			rs := c.arena.GetUninit(1, g.C) // 1×M row sums …
+			tensor.SumRowsInto(rs, g)
+			d := c.arena.GetUninit(g.C, 1) // … transposed to M×1
+			tensor.TransposeInto(d, rs)
+			c.accumOwn(b, d)
+		}
+
+	case opScale:
+		d := c.arena.GetUninit(g.R, g.C)
+		tensor.ScaleInto(d, g, n.s)
+		c.accumOwn(n.a, d)
+
+	case opReLU:
+		x := n.a
+		d := c.arena.GetUninit(g.R, g.C)
+		for i, gv := range g.Data {
+			if x.V.Data[i] > 0 {
+				d.Data[i] = gv
+			} else {
+				d.Data[i] = 0
+			}
+		}
+		c.accumOwn(x, d)
+
+	case opLeakyReLU:
+		x, alpha := n.a, n.s
+		d := c.arena.GetUninit(g.R, g.C)
+		for i, gv := range g.Data {
+			if x.V.Data[i] > 0 {
+				d.Data[i] = gv
+			} else {
+				d.Data[i] = alpha * gv
+			}
+		}
+		c.accumOwn(x, d)
+
+	case opTanh:
+		v := n.V
+		d := c.arena.GetUninit(g.R, g.C)
+		for i, gv := range g.Data {
+			d.Data[i] = gv * (1 - v.Data[i]*v.Data[i])
+		}
+		c.accumOwn(n.a, d)
+
+	case opSoftmax:
+		// dx = y ⊙ (g − rowsum(g ⊙ y))
+		y := n.V
+		d := c.arena.GetUninit(g.R, g.C)
+		for i := 0; i < g.R; i++ {
+			grow, yrow, drow := g.Row(i), y.Row(i), d.Row(i)
+			dotgy := 0.0
+			for j := range grow {
+				dotgy += grow[j] * yrow[j]
+			}
+			for j := range grow {
+				drow[j] = yrow[j] * (grow[j] - dotgy)
+			}
+		}
+		c.accumOwn(n.a, d)
+
+	case opLayerNorm:
+		x, gamma, beta := n.a, n.b, n.c3
+		nr, d := n.V.R, n.V.C
+		xhat, invstd := n.aux, n.aux2.Data
+		if gamma.requires {
+			dg := c.arena.Get(1, d)
+			for i := 0; i < nr; i++ {
+				grow, xrow := g.Row(i), xhat.Row(i)
+				for j := range grow {
+					dg.Data[j] += grow[j] * xrow[j]
+				}
+			}
+			c.accumOwn(gamma, dg)
+		}
+		if beta.requires {
+			db := c.arena.GetUninit(1, d)
+			tensor.SumRowsInto(db, g)
+			c.accumOwn(beta, db)
+		}
+		if x.requires {
+			dx := c.arena.GetUninit(nr, d)
+			for i := 0; i < nr; i++ {
+				grow, xrow, drow := g.Row(i), xhat.Row(i), dx.Row(i)
+				// dxhat = g * gamma
+				sum1, sum2 := 0.0, 0.0
+				for j := range grow {
+					dxh := grow[j] * gamma.V.Data[j]
+					drow[j] = dxh
+					sum1 += dxh
+					sum2 += dxh * xrow[j]
+				}
+				inv := invstd[i] / float64(d)
+				for j := range drow {
+					drow[j] = inv * (float64(d)*drow[j] - sum1 - xrow[j]*sum2)
+				}
+			}
+			c.accumOwn(x, dx)
+		}
+
+	case opConcat:
+		off := 0
+		for _, x := range n.xs {
+			if x.requires {
+				d := c.arena.GetUninit(g.R, x.V.C)
+				tensor.SliceColsInto(d, g, off, off+x.V.C)
+				c.accumOwn(x, d)
+			}
+			off += x.V.C
+		}
+
+	case opSlice:
+		x := n.a
+		dx := c.arena.Get(x.V.R, x.V.C)
+		for i := 0; i < g.R; i++ {
+			copy(dx.Row(i)[n.lo:n.hi], g.Row(i))
+		}
+		c.accumOwn(x, dx)
+
+	case opSumRows:
+		x := n.a
+		d := c.arena.GetUninit(x.V.R, x.V.C)
+		for i := 0; i < d.R; i++ {
+			copy(d.Row(i), g.Row(0))
+		}
+		c.accumOwn(x, d)
+
+	case opGather:
+		x := n.a
+		dx := c.arena.Get(x.V.R, x.V.C)
+		tensor.ScatterAddRows(dx, g, n.idx)
+		c.accumOwn(x, dx)
+
+	case opAbs:
+		x := n.a
+		d := c.arena.GetUninit(g.R, g.C)
+		for i, gv := range g.Data {
+			switch {
+			case x.V.Data[i] > 0:
+				d.Data[i] = gv
+			case x.V.Data[i] < 0:
+				d.Data[i] = -gv
+			default:
+				d.Data[i] = 0
+			}
+		}
+		c.accumOwn(x, d)
+
+	case opMeanAll:
+		x := n.a
+		d := c.arena.GetUninit(x.V.R, x.V.C)
+		v := g.Data[0] / float64(x.V.Size())
+		for i := range d.Data {
+			d.Data[i] = v
+		}
+		c.accumOwn(x, d)
 	}
 }
 
 // MatMul returns a·b.
 func (c *Context) MatMul(a, b *Node) *Node {
-	out := &Node{V: tensor.MatMul(a.V, b.V), requires: anyRequires(a, b)}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			if a.requires {
-				a.accum(tensor.MatMulBT(g, b.V)) // dA = g·Bᵀ
-			}
-			if b.requires {
-				b.accum(tensor.MatMulAT(a.V, g)) // dB = Aᵀ·g
-			}
-		}
-	}
-	return c.add(out)
+	v := c.arena.GetUninit(a.V.R, b.V.C)
+	tensor.MatMulInto(v, a.V, b.V)
+	n := c.node(opMatMul, v, anyRequires(a, b))
+	n.a, n.b = a, b
+	return n
 }
 
 // MatMulBT returns a·bᵀ without materializing the transpose.
 func (c *Context) MatMulBT(a, b *Node) *Node {
-	out := &Node{V: tensor.MatMulBT(a.V, b.V), requires: anyRequires(a, b)}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			if a.requires {
-				a.accum(tensor.MatMul(g, b.V)) // dA = g·B
-			}
-			if b.requires {
-				b.accum(tensor.MatMulAT(g, a.V)) // dB = gᵀ·A
-			}
-		}
-	}
-	return c.add(out)
+	v := c.arena.GetUninit(a.V.R, b.V.R)
+	tensor.MatMulBTInto(v, a.V, b.V)
+	n := c.node(opMatMulBT, v, anyRequires(a, b))
+	n.a, n.b = a, b
+	return n
+}
+
+// Linear returns the fused dense layer x·w + bias (bias broadcast over
+// rows) in one kernel pass — bitwise-identical to AddBias(MatMul(x, w), b)
+// without materializing the intermediate product.
+func (c *Context) Linear(x, w, b *Node) *Node {
+	v := c.arena.GetUninit(x.V.R, w.V.C)
+	tensor.LinearInto(v, x.V, w.V, b.V)
+	n := c.node(opLinear, v, anyRequires(x, w, b))
+	n.a, n.b, n.c3 = x, w, b
+	return n
 }
 
 // Add returns a + b (same shape).
 func (c *Context) Add(a, b *Node) *Node {
-	out := &Node{V: tensor.Add(a.V, b.V), requires: anyRequires(a, b)}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			if a.requires {
-				a.accum(g)
-			}
-			if b.requires {
-				b.accum(g)
-			}
-		}
-	}
-	return c.add(out)
+	v := c.arena.GetUninit(a.V.R, a.V.C)
+	tensor.AddInto(v, a.V, b.V)
+	n := c.node(opAdd, v, anyRequires(a, b))
+	n.a, n.b = a, b
+	return n
 }
 
 // Sub returns a − b (same shape).
 func (c *Context) Sub(a, b *Node) *Node {
-	out := &Node{V: tensor.Sub(a.V, b.V), requires: anyRequires(a, b)}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			if a.requires {
-				a.accum(g)
-			}
-			if b.requires {
-				b.accum(tensor.Scale(g, -1))
-			}
-		}
-	}
-	return c.add(out)
+	v := c.arena.GetUninit(a.V.R, a.V.C)
+	tensor.SubInto(v, a.V, b.V)
+	n := c.node(opSub, v, anyRequires(a, b))
+	n.a, n.b = a, b
+	return n
 }
 
 // Mul returns a ⊙ b (same shape).
 func (c *Context) Mul(a, b *Node) *Node {
-	out := &Node{V: tensor.Mul(a.V, b.V), requires: anyRequires(a, b)}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			if a.requires {
-				a.accum(tensor.Mul(g, b.V))
-			}
-			if b.requires {
-				b.accum(tensor.Mul(g, a.V))
-			}
-		}
-	}
-	return c.add(out)
+	v := c.arena.GetUninit(a.V.R, a.V.C)
+	tensor.MulInto(v, a.V, b.V)
+	n := c.node(opMul, v, anyRequires(a, b))
+	n.a, n.b = a, b
+	return n
 }
 
 // AddBias adds the 1×C bias row vector b to every row of x.
 func (c *Context) AddBias(x, b *Node) *Node {
-	out := &Node{V: tensor.AddRowVec(x.V, b.V), requires: anyRequires(x, b)}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			if x.requires {
-				x.accum(g)
-			}
-			if b.requires {
-				b.accum(tensor.SumRows(g))
-			}
-		}
-	}
-	return c.add(out)
+	v := c.arena.GetUninit(x.V.R, x.V.C)
+	tensor.AddRowVecInto(v, x.V, b.V)
+	n := c.node(opAddBias, v, anyRequires(x, b))
+	n.a, n.b = x, b
+	return n
 }
 
 // AddOuter returns out[i][j] = a[i] + b[j] for column vectors a, b.
 func (c *Context) AddOuter(a, b *Node) *Node {
-	out := &Node{V: tensor.AddOuter(a.V, b.V), requires: anyRequires(a, b)}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			if a.requires {
-				a.accum(tensor.SumCols(g))
-			}
-			if b.requires {
-				a2 := tensor.SumRows(g) // 1×M
-				b.accum(a2.Transpose())
-			}
-		}
-	}
-	return c.add(out)
+	v := c.arena.GetUninit(a.V.R, b.V.R)
+	tensor.AddOuterInto(v, a.V, b.V)
+	n := c.node(opAddOuter, v, anyRequires(a, b))
+	n.a, n.b = a, b
+	return n
 }
 
 // Scale returns s·x.
 func (c *Context) Scale(x *Node, s float64) *Node {
-	out := &Node{V: tensor.Scale(x.V, s), requires: x.requires}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) { x.accum(tensor.Scale(g, s)) }
-	}
-	return c.add(out)
+	v := c.arena.GetUninit(x.V.R, x.V.C)
+	tensor.ScaleInto(v, x.V, s)
+	n := c.node(opScale, v, x.requires)
+	n.a, n.s = x, s
+	return n
+}
+
+// ScaleInPlace returns s·x computed into x's own buffer, avoiding a copy.
+// Safe only when no other node's backward pass reads x's value — e.g. the
+// attention-score product feeding softmax, whose producing op (MatMulBT)
+// differentiates through its inputs, not its output.
+func (c *Context) ScaleInPlace(x *Node, s float64) *Node {
+	tensor.ScaleInto(x.V, x.V, s)
+	n := c.node(opScale, x.V, x.requires)
+	n.a, n.s = x, s
+	return n
 }
 
 // ReLU returns max(x, 0).
 func (c *Context) ReLU(x *Node) *Node {
-	v := tensor.Map(x.V, func(a float64) float64 { return math.Max(a, 0) })
-	out := &Node{V: v, requires: x.requires}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			dx := tensor.New(g.R, g.C)
-			for i, gv := range g.Data {
-				if x.V.Data[i] > 0 {
-					dx.Data[i] = gv
-				}
-			}
-			x.accum(dx)
-		}
+	v := c.arena.GetUninit(x.V.R, x.V.C)
+	for i, a := range x.V.Data {
+		v.Data[i] = math.Max(a, 0)
 	}
-	return c.add(out)
+	n := c.node(opReLU, v, x.requires)
+	n.a = x
+	return n
 }
 
 // LeakyReLU returns x for x>0 and αx otherwise.
 func (c *Context) LeakyReLU(x *Node, alpha float64) *Node {
-	v := tensor.Map(x.V, func(a float64) float64 {
+	v := c.arena.GetUninit(x.V.R, x.V.C)
+	for i, a := range x.V.Data {
 		if a > 0 {
-			return a
-		}
-		return alpha * a
-	})
-	out := &Node{V: v, requires: x.requires}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			dx := tensor.New(g.R, g.C)
-			for i, gv := range g.Data {
-				if x.V.Data[i] > 0 {
-					dx.Data[i] = gv
-				} else {
-					dx.Data[i] = alpha * gv
-				}
-			}
-			x.accum(dx)
+			v.Data[i] = a
+		} else {
+			v.Data[i] = alpha * a
 		}
 	}
-	return c.add(out)
+	n := c.node(opLeakyReLU, v, x.requires)
+	n.a, n.s = x, alpha
+	return n
 }
 
 // Tanh returns tanh(x) elementwise.
 func (c *Context) Tanh(x *Node) *Node {
-	v := tensor.Map(x.V, math.Tanh)
-	out := &Node{V: v, requires: x.requires}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			dx := tensor.New(g.R, g.C)
-			for i, gv := range g.Data {
-				dx.Data[i] = gv * (1 - v.Data[i]*v.Data[i])
-			}
-			x.accum(dx)
-		}
+	v := c.arena.GetUninit(x.V.R, x.V.C)
+	for i, a := range x.V.Data {
+		v.Data[i] = math.Tanh(a)
 	}
-	return c.add(out)
+	n := c.node(opTanh, v, x.requires)
+	n.a = x
+	return n
 }
 
 // SoftmaxRows applies row-wise softmax; mask (may be nil) is a constant
 // additive logit mask with −Inf at disabled positions.
 func (c *Context) SoftmaxRows(x *Node, mask *tensor.Tensor) *Node {
-	y := tensor.SoftmaxRows(x.V, mask)
-	out := &Node{V: y, requires: x.requires}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			// dx = y ⊙ (g − rowsum(g ⊙ y))
-			dx := tensor.New(g.R, g.C)
-			for i := 0; i < g.R; i++ {
-				grow, yrow, drow := g.Row(i), y.Row(i), dx.Row(i)
-				dotgy := 0.0
-				for j := range grow {
-					dotgy += grow[j] * yrow[j]
-				}
-				for j := range grow {
-					drow[j] = yrow[j] * (grow[j] - dotgy)
-				}
-			}
-			x.accum(dx)
-		}
-	}
-	return c.add(out)
+	v := c.arena.GetUninit(x.V.R, x.V.C)
+	tensor.SoftmaxRowsInto(v, x.V, mask)
+	n := c.node(opSoftmax, v, x.requires)
+	n.a = x
+	return n
+}
+
+// SoftmaxRowsInPlace is SoftmaxRows computed into x's own buffer. Safe only
+// when no other node's backward pass reads x's value (softmax's own VJP
+// needs only its output, which this node now holds).
+func (c *Context) SoftmaxRowsInPlace(x *Node, mask *tensor.Tensor) *Node {
+	tensor.SoftmaxRowsInto(x.V, x.V, mask)
+	n := c.node(opSoftmax, x.V, x.requires)
+	n.a = x
+	return n
 }
 
 // LayerNorm normalizes each row of x to zero mean and unit variance, then
 // scales by gamma and shifts by beta (both 1×C).
 func (c *Context) LayerNorm(x, gamma, beta *Node, eps float64) *Node {
-	n, d := x.V.R, x.V.C
-	xhat := tensor.New(n, d)
-	invstd := make([]float64, n)
-	for i := 0; i < n; i++ {
+	nr, d := x.V.R, x.V.C
+	xhat := c.arena.GetUninit(nr, d)
+	invstd := c.arena.GetUninit(nr, 1)
+	for i := 0; i < nr; i++ {
 		row := x.V.Row(i)
 		mean := 0.0
 		for _, v := range row {
@@ -419,110 +724,61 @@ func (c *Context) LayerNorm(x, gamma, beta *Node, eps float64) *Node {
 		}
 		varr /= float64(d)
 		is := 1 / math.Sqrt(varr+eps)
-		invstd[i] = is
+		invstd.Data[i] = is
 		xrow := xhat.Row(i)
 		for j, v := range row {
 			xrow[j] = (v - mean) * is
 		}
 	}
-	y := tensor.New(n, d)
-	for i := 0; i < n; i++ {
+	y := c.arena.GetUninit(nr, d)
+	for i := 0; i < nr; i++ {
 		yrow, xrow := y.Row(i), xhat.Row(i)
 		for j := range yrow {
 			yrow[j] = xrow[j]*gamma.V.Data[j] + beta.V.Data[j]
 		}
 	}
-	out := &Node{V: y, requires: anyRequires(x, gamma, beta)}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			if gamma.requires {
-				dg := tensor.New(1, d)
-				for i := 0; i < n; i++ {
-					grow, xrow := g.Row(i), xhat.Row(i)
-					for j := range grow {
-						dg.Data[j] += grow[j] * xrow[j]
-					}
-				}
-				gamma.accum(dg)
-			}
-			if beta.requires {
-				beta.accum(tensor.SumRows(g))
-			}
-			if x.requires {
-				dx := tensor.New(n, d)
-				for i := 0; i < n; i++ {
-					grow, xrow, drow := g.Row(i), xhat.Row(i), dx.Row(i)
-					// dxhat = g * gamma
-					sum1, sum2 := 0.0, 0.0
-					for j := range grow {
-						dxh := grow[j] * gamma.V.Data[j]
-						drow[j] = dxh
-						sum1 += dxh
-						sum2 += dxh * xrow[j]
-					}
-					inv := invstd[i] / float64(d)
-					for j := range drow {
-						drow[j] = inv * (float64(d)*drow[j] - sum1 - xrow[j]*sum2)
-					}
-				}
-				x.accum(dx)
-			}
-		}
-	}
-	return c.add(out)
+	n := c.node(opLayerNorm, y, anyRequires(x, gamma, beta))
+	n.a, n.b, n.c3 = x, gamma, beta
+	n.aux, n.aux2 = xhat, invstd
+	return n
 }
 
 // ConcatCols concatenates nodes along columns.
 func (c *Context) ConcatCols(xs ...*Node) *Node {
-	vs := make([]*tensor.Tensor, len(xs))
+	c.ts = c.ts[:0]
 	req := false
-	for i, x := range xs {
-		vs[i] = x.V
+	rows, cols := 0, 0
+	for _, x := range xs {
+		c.ts = append(c.ts, x.V)
 		req = req || x.requires
+		cols += x.V.C
 	}
-	out := &Node{V: tensor.ConcatCols(vs...), requires: req}
-	if req {
-		out.back = func(g *tensor.Tensor) {
-			off := 0
-			for _, x := range xs {
-				if x.requires {
-					x.accum(tensor.SliceCols(g, off, off+x.V.C))
-				}
-				off += x.V.C
-			}
-		}
+	if len(xs) > 0 {
+		rows = xs[0].V.R
 	}
-	return c.add(out)
+	v := c.arena.GetUninit(rows, cols)
+	tensor.ConcatColsInto(v, c.ts...)
+	n := c.node(opConcat, v, req)
+	n.xs = xs
+	return n
 }
 
 // SliceCols extracts columns [lo, hi).
 func (c *Context) SliceCols(x *Node, lo, hi int) *Node {
-	out := &Node{V: tensor.SliceCols(x.V, lo, hi), requires: x.requires}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			dx := tensor.New(x.V.R, x.V.C)
-			for i := 0; i < g.R; i++ {
-				copy(dx.Row(i)[lo:hi], g.Row(i))
-			}
-			x.accum(dx)
-		}
-	}
-	return c.add(out)
+	v := c.arena.GetUninit(x.V.R, hi-lo)
+	tensor.SliceColsInto(v, x.V, lo, hi)
+	n := c.node(opSlice, v, x.requires)
+	n.a, n.lo, n.hi = x, lo, hi
+	return n
 }
 
 // SumRows sums over rows, producing the 1×C graph-pooling vector.
 func (c *Context) SumRows(x *Node) *Node {
-	out := &Node{V: tensor.SumRows(x.V), requires: x.requires}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			dx := tensor.New(x.V.R, x.V.C)
-			for i := 0; i < dx.R; i++ {
-				copy(dx.Row(i), g.Row(0))
-			}
-			x.accum(dx)
-		}
-	}
-	return c.add(out)
+	v := c.arena.GetUninit(1, x.V.C)
+	tensor.SumRowsInto(v, x.V)
+	n := c.node(opSumRows, v, x.requires)
+	n.a = x
+	return n
 }
 
 // MeanRows averages over rows, producing a 1×C vector.
@@ -533,35 +789,22 @@ func (c *Context) MeanRows(x *Node) *Node {
 // GatherRows selects rows of x by index (e.g. a positional-encoding table
 // addressed by node depth); gradients scatter-add back.
 func (c *Context) GatherRows(x *Node, idx []int) *Node {
-	out := &Node{V: tensor.GatherRows(x.V, idx), requires: x.requires}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			dx := tensor.New(x.V.R, x.V.C)
-			tensor.ScatterAddRows(dx, g, idx)
-			x.accum(dx)
-		}
-	}
-	return c.add(out)
+	v := c.arena.GetUninit(len(idx), x.V.C)
+	tensor.GatherRowsInto(v, x.V, idx)
+	n := c.node(opGather, v, x.requires)
+	n.a, n.idx = x, idx
+	return n
 }
 
 // Abs returns |x| elementwise (subgradient 0 at 0).
 func (c *Context) Abs(x *Node) *Node {
-	out := &Node{V: tensor.Map(x.V, math.Abs), requires: x.requires}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			dx := tensor.New(g.R, g.C)
-			for i, gv := range g.Data {
-				switch {
-				case x.V.Data[i] > 0:
-					dx.Data[i] = gv
-				case x.V.Data[i] < 0:
-					dx.Data[i] = -gv
-				}
-			}
-			x.accum(dx)
-		}
+	v := c.arena.GetUninit(x.V.R, x.V.C)
+	for i, a := range x.V.Data {
+		v.Data[i] = math.Abs(a)
 	}
-	return c.add(out)
+	n := c.node(opAbs, v, x.requires)
+	n.a = x
+	return n
 }
 
 // Square returns x² elementwise.
@@ -569,13 +812,11 @@ func (c *Context) Square(x *Node) *Node { return c.Mul(x, x) }
 
 // MeanAll reduces x to its 1×1 scalar mean.
 func (c *Context) MeanAll(x *Node) *Node {
-	out := &Node{V: tensor.Full(1, 1, x.V.Sum()/float64(x.V.Size())), requires: x.requires}
-	if out.requires {
-		out.back = func(g *tensor.Tensor) {
-			x.accum(tensor.Full(x.V.R, x.V.C, g.Data[0]/float64(x.V.Size())))
-		}
-	}
-	return c.add(out)
+	v := c.arena.GetUninit(1, 1)
+	v.Data[0] = x.V.Sum() / float64(x.V.Size())
+	n := c.node(opMeanAll, v, x.requires)
+	n.a = x
+	return n
 }
 
 // MAELoss returns mean |pred − target| as a 1×1 scalar; target is constant.
@@ -586,4 +827,20 @@ func (c *Context) MAELoss(pred *Node, target *tensor.Tensor) *Node {
 // MSELoss returns mean (pred − target)² as a 1×1 scalar; target is constant.
 func (c *Context) MSELoss(pred *Node, target *tensor.Tensor) *Node {
 	return c.MeanAll(c.Square(c.Sub(pred, c.Const(target))))
+}
+
+// MAELossScalar is MAELoss against a scalar target without the caller
+// materializing a target tensor (it lives on the tape's arena).
+func (c *Context) MAELossScalar(pred *Node, target float64) *Node {
+	t := c.arena.GetUninit(1, 1)
+	t.Data[0] = target
+	return c.MAELoss(pred, t)
+}
+
+// MSELossScalar is MSELoss against a scalar target without the caller
+// materializing a target tensor (it lives on the tape's arena).
+func (c *Context) MSELossScalar(pred *Node, target float64) *Node {
+	t := c.arena.GetUninit(1, 1)
+	t.Data[0] = target
+	return c.MSELoss(pred, t)
 }

@@ -1,0 +1,144 @@
+package ag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"predtop/internal/tensor"
+)
+
+// buildLossGraph runs a forward pass exercising every tape op that the
+// models use — fused linear, in-place scale/softmax, layer norm, attention
+// glue, pooling — and returns the scalar loss node.
+func buildLossGraph(ctx *Context, ps []*Param, x *tensor.Tensor, mask *tensor.Tensor) *Node {
+	w1, b1, w2, b2, gamma, beta := ps[0], ps[1], ps[2], ps[3], ps[4], ps[5]
+	in := ctx.Const(x)
+	h := ctx.Linear(in, ctx.Param(w1), ctx.Param(b1))
+	h = ctx.LayerNorm(h, ctx.Param(gamma), ctx.Param(beta), 1e-5)
+	scores := ctx.ScaleInPlace(ctx.MatMulBT(h, h), 0.5)
+	attn := ctx.SoftmaxRowsInPlace(scores, mask)
+	h = ctx.MatMul(attn, h)
+	h = ctx.Add(h, ctx.Tanh(h))
+	h = ctx.ReLU(ctx.Linear(h, ctx.Param(w2), ctx.Param(b2)))
+	pooled := ctx.MeanRows(h)
+	pred := ctx.SumRows(pooled)
+	return ctx.MAELossScalar(ctx.MeanAll(pred), 0.75)
+}
+
+func testParams(seed int64) []*Param {
+	rng := rand.New(rand.NewSource(seed))
+	return []*Param{
+		NewParam("w1", tensor.Randn(rng, 6, 8, 0.3)),
+		NewParam("b1", tensor.Randn(rng, 1, 8, 0.3)),
+		NewParam("w2", tensor.Randn(rng, 8, 4, 0.3)),
+		NewParam("b2", tensor.Randn(rng, 1, 4, 0.3)),
+		NewParam("gamma", tensor.Full(1, 8, 1)),
+		NewParam("beta", tensor.New(1, 8)),
+	}
+}
+
+// TestArenaOnOffBitwiseIdentical: the arena is a pure allocation strategy —
+// loss values and parameter gradients must be bitwise identical with it on
+// (default), off (SetArena(nil)), and on across several Reset generations
+// (recycled buffers must never leak stale state into results).
+func TestArenaOnOffBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	x := tensor.Randn(rng, 5, 6, 1)
+	mask := tensor.New(5, 5)
+	ninf := math.Inf(-1)
+	mask.Set(0, 3, ninf)
+	mask.Set(2, 1, ninf)
+
+	type result struct {
+		loss  float64
+		grads []*tensor.Tensor
+	}
+	runOnce := func(ctx *Context, ps []*Param) result {
+		for _, p := range ps {
+			p.ZeroGrad()
+		}
+		loss := buildLossGraph(ctx, ps, x, mask)
+		ctx.Backward(loss)
+		r := result{loss: loss.Value().At(0, 0)}
+		for _, p := range ps {
+			r.grads = append(r.grads, p.Grad.Clone())
+		}
+		return r
+	}
+
+	refCtx := NewContext()
+	refCtx.SetArena(nil)
+	ref := runOnce(refCtx, testParams(7))
+
+	arenaCtx := NewContext()
+	ps := testParams(7)
+	for gen := 0; gen < 4; gen++ {
+		got := runOnce(arenaCtx, ps)
+		if math.Float64bits(got.loss) != math.Float64bits(ref.loss) {
+			t.Fatalf("gen %d: arena loss %x != no-arena %x",
+				gen, math.Float64bits(got.loss), math.Float64bits(ref.loss))
+		}
+		for i := range ref.grads {
+			for j := range ref.grads[i].Data {
+				a, b := got.grads[i].Data[j], ref.grads[i].Data[j]
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("gen %d: grad %d[%d] %x != %x", gen, i, j,
+						math.Float64bits(a), math.Float64bits(b))
+				}
+			}
+		}
+		arenaCtx.Reset()
+	}
+}
+
+// TestContextSteadyStateZeroAlloc pins the tentpole target at the tape
+// level: once a pooled context has seen its graph, a full
+// forward+backward+Reset step performs zero heap allocations.
+func TestContextSteadyStateZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.Randn(rng, 5, 6, 1)
+	ps := testParams(11)
+	ctx := NewContext()
+	step := func() {
+		loss := buildLossGraph(ctx, ps, x, nil)
+		ctx.Backward(loss)
+		ctx.Reset()
+	}
+	step() // warm the arena, node chunks, and params map
+	step()
+	if allocs := testing.AllocsPerRun(100, step); allocs != 0 {
+		t.Fatalf("steady-state forward+backward allocated %.1f per step, want 0", allocs)
+	}
+}
+
+// TestArenaIntermediatesRecycled: a value read off the tape before Reset is
+// valid; after Reset the arena may hand its buffer to the next pass. This
+// documents (and checks) the escape contract — anything kept across Reset
+// must be Cloned or pinned.
+func TestArenaIntermediatesRecycled(t *testing.T) {
+	ctx := NewContext()
+	a := ctx.Const(tensor.Full(2, 2, 1))
+	sum := ctx.Add(a, a)
+	kept := sum.Value()     // arena-owned
+	escaped := kept.Clone() // heap copy survives Reset
+	pinned := ctx.Arena().Pin(ctx.Add(a, a).Value())
+	ctx.Reset()
+
+	// Drive several passes; the recycled buffer will be overwritten.
+	for i := 0; i < 4; i++ {
+		b := ctx.Const(tensor.Full(2, 2, float64(i)))
+		ctx.Mul(b, b)
+		ctx.Reset()
+	}
+	for i, v := range escaped.Data {
+		if v != 2 {
+			t.Fatalf("cloned escape corrupted at %d: %v", i, v)
+		}
+	}
+	for i, v := range pinned.Data {
+		if v != 2 {
+			t.Fatalf("pinned tensor corrupted at %d: %v", i, v)
+		}
+	}
+}

@@ -92,11 +92,11 @@ func (c *Context) backwardProfiled(bspan obs.Span) {
 	counts := make([]int64, len(c.marks)+1)
 	for i := len(c.nodes) - 1; i >= 0; i-- {
 		n := c.nodes[i]
-		if n.grad == nil || n.back == nil {
+		if n.grad == nil || !n.requires {
 			continue
 		}
 		t0 := time.Now()
-		n.back(n.grad)
+		c.runBack(n)
 		d := time.Since(t0)
 		totals[labels[i]] += d
 		counts[labels[i]]++

@@ -340,7 +340,9 @@ func (m *GAT) Predict(ctx *ag.Context, e *stage.Encoded) *ag.Node {
 			s1 := ctx.MatMul(wh, ctx.Param(l.aSrc[h]))
 			s2 := ctx.MatMul(wh, ctx.Param(l.aDst[h]))
 			logits := ctx.LeakyReLU(ctx.AddOuter(s1, s2), l.alpha)
-			attn := ctx.SoftmaxRows(logits, e.NeighborMask)
+			// In-place is safe: LeakyReLU's backward reads its input
+			// (the AddOuter value), never its own output buffer.
+			attn := ctx.SoftmaxRowsInPlace(logits, e.NeighborMask)
 			heads[h] = ctx.MatMul(attn, wh)
 		}
 		x = ctx.ReLU(ctx.ConcatCols(heads...))

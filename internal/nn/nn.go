@@ -41,9 +41,9 @@ func NewLinear(rng *rand.Rand, name string, in, out int) *Linear {
 	}
 }
 
-// Forward applies the layer to x (N×in).
+// Forward applies the layer to x (N×in) via the fused matmul+bias kernel.
 func (l *Linear) Forward(ctx *ag.Context, x *ag.Node) *ag.Node {
-	return ctx.AddBias(ctx.MatMul(x, ctx.Param(l.W)), ctx.Param(l.B))
+	return ctx.Linear(x, ctx.Param(l.W), ctx.Param(l.B))
 }
 
 // Params implements Module.
@@ -115,8 +115,11 @@ func (m *MultiHeadAttention) Forward(ctx *ag.Context, x *ag.Node, mask *tensor.T
 		qh := ctx.SliceCols(q, lo, hi)
 		kh := ctx.SliceCols(k, lo, hi)
 		vh := ctx.SliceCols(v, lo, hi)
-		scores := ctx.Scale(ctx.MatMulBT(qh, kh), scale)
-		attn := ctx.SoftmaxRows(scores, mask)
+		// Scaling and softmax both overwrite the score buffer in place:
+		// MatMulBT's backward reads its inputs, never its output, so the
+		// raw scores are dead the moment they are produced.
+		scores := ctx.ScaleInPlace(ctx.MatMulBT(qh, kh), scale)
+		attn := ctx.SoftmaxRowsInPlace(scores, mask)
 		heads[h] = ctx.MatMul(attn, vh)
 	}
 	return m.Wo.Forward(ctx, ctx.ConcatCols(heads...))

@@ -194,6 +194,10 @@ func TrainPredictorProvider(mdl *models.Model, p cluster.Platform, opt Predictor
 
 	type pairKey struct{ lo, hi, mesh int }
 	memo := map[pairKey]float64{}
+	// Stage encodings depend only on the spec, not the mesh or config, so
+	// they are computed once per spec instead of once per (mesh, config)
+	// query inside the configuration loop.
+	encCache := map[stage.Spec]*stage.Encoded{}
 	return func(sp stage.Spec, mesh cluster.Mesh) (float64, bool) {
 		k := pairKey{sp.Lo, sp.Hi, mesh.Index}
 		if t, ok := memo[k]; ok {
@@ -203,6 +207,11 @@ func TrainPredictorProvider(mdl *models.Model, p cluster.Platform, opt Predictor
 		meter.CacheMisses++
 		start := time.Now()
 		g := mdl.StageGraph(sp.Lo, sp.Hi, true)
+		encoded, ok := encCache[sp]
+		if !ok {
+			encoded = enc.Encode(sp)
+			encCache[sp] = encoded
+		}
 		best := math.Inf(1)
 		for _, conf := range cluster.ConfigsFor(mesh) {
 			tr, ok := trained[scKey{mesh.Index, conf.Index}]
@@ -213,7 +222,7 @@ func TrainPredictorProvider(mdl *models.Model, p cluster.Platform, opt Predictor
 			if !sim.NewExec(sc).FitsMemory(g) {
 				continue
 			}
-			if pred := tr.PredictEncoded(enc.Encode(sp)); pred < best {
+			if pred := tr.PredictEncoded(encoded); pred < best {
 				best = pred
 			}
 			meter.InferSeconds += simInferSeconds

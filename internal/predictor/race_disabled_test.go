@@ -1,0 +1,5 @@
+//go:build !race
+
+package predictor
+
+const raceEnabled = false

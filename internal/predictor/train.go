@@ -3,6 +3,7 @@ package predictor
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 
 	"predtop/internal/ag"
@@ -39,6 +40,12 @@ type TrainConfig struct {
 	// bitwise-identical results — sharding and gradient-reduction order
 	// depend only on the minibatch, never on the worker count.
 	Workers int
+	// NoArena disables tensor-arena reuse on the per-sample tapes, making
+	// every intermediate a plain heap allocation (the pre-arena behavior).
+	// Arena reuse is on by default because results are bitwise identical
+	// either way — each worker tape owns a private arena, so this is purely
+	// a debugging/verification escape hatch.
+	NoArena bool
 	// Hooks, when non-nil, observes training progress (per-epoch stats,
 	// early stop, weight restore) and receives hot-path metrics. Hooks only
 	// observe — they never perturb the shuffle, sharding, or reduction
@@ -172,7 +179,15 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 	defer trainSpan.End()
 
 	// Forward-only tapes for evaluation, pooled across workers and epochs.
-	ctxPool := parallel.NewPool(ag.NewContext)
+	// Each pooled context owns a private arena, so steady-state evaluation
+	// recycles every intermediate instead of allocating.
+	ctxPool := parallel.NewPool(func() *ag.Context {
+		c := ag.NewContext()
+		if cfg.NoArena {
+			c.SetArena(nil)
+		}
+		return c
+	})
 	lossOf := func(idx []int) float64 {
 		if len(idx) == 0 {
 			return 0
@@ -203,6 +218,9 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 	for i := range bufs {
 		bufs[i] = ag.NewGradBuffer(params)
 		tapes[i] = ag.NewContextInto(bufs[i])
+		if cfg.NoArena {
+			tapes[i].SetArena(nil)
+		}
 	}
 
 	// Instruments resolve to nil on a nil registry, making every hot-path
@@ -251,12 +269,11 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 				ss := bs.Start("sample")
 				ctx.SetSpan(ss)
 				pred := model.Predict(ctx, s.Encoded)
-				target := tensor.Full(1, 1, s.Measured/scale)
 				var loss *ag.Node
 				if cfg.Loss == MSE {
-					loss = ctx.MSELoss(pred, target)
+					loss = ctx.MSELossScalar(pred, s.Measured/scale)
 				} else {
-					loss = ctx.MAELoss(pred, target)
+					loss = ctx.MAELossScalar(pred, s.Measured/scale)
 				}
 				lossVals[k] = loss.Value().At(0, 0)
 				ctx.Backward(loss)
@@ -329,12 +346,21 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 	return Trained{Model: model, Scale: scale}, res
 }
 
+// predictCtxs recycles forward-only tapes (and their tensor arenas) across
+// PredictEncoded calls, so steady-state inference allocates nothing. The
+// pool is safe for concurrent predictions; results never depend on which
+// pooled context serves a call because every intermediate buffer is fully
+// written before it is read.
+var predictCtxs = sync.Pool{New: func() any { return ag.NewContext() }}
+
 // PredictEncoded returns the trained model's latency prediction in seconds
 // for an encoded stage graph. Latency is a positive quantity, so raw network
 // outputs are floored at 1% of the label scale.
 func (t Trained) PredictEncoded(e *stage.Encoded) float64 {
-	ctx := ag.NewContext()
+	ctx := predictCtxs.Get().(*ag.Context)
 	pred := t.Model.Predict(ctx, e).Value().At(0, 0) * t.Scale
+	ctx.Reset()
+	predictCtxs.Put(ctx)
 	if floor := 0.01 * t.Scale; pred < floor {
 		return floor
 	}

@@ -45,9 +45,10 @@ func TestParallelTrainingBitwiseDeterministic(t *testing.T) {
 
 	for _, arch := range []string{"Tran", "GCN", "GAT"} {
 		t.Run(arch, func(t *testing.T) {
-			run := func(workers int, hooked bool) (Trained, TrainResult) {
+			run := func(workers int, hooked, noArena bool) (Trained, TrainResult) {
 				cfg := TrainConfig{
 					Epochs: 3, Patience: 3, BatchSize: 5, Seed: 13, Workers: workers,
+					NoArena: noArena,
 				}
 				if hooked {
 					// The hooked case carries the full observation surface
@@ -63,46 +64,49 @@ func TestParallelTrainingBitwiseDeterministic(t *testing.T) {
 				}
 				return Train(buildArch(arch, 42), ds, trainIdx, valIdx, cfg)
 			}
-			ref, refRes := run(1, false)
+			ref, refRes := run(1, false, false)
 			// The determinism table: every worker count, instrumented and
-			// not, must match the serial uninstrumented reference bitwise.
+			// not, with arena reuse on (default) and off, must match the
+			// serial uninstrumented arena-on reference bitwise.
 			for _, workers := range []int{1, 4, 7} {
 				for _, hooked := range []bool{false, true} {
-					if workers == 1 && !hooked {
-						continue
-					}
-					got, gotRes := run(workers, hooked)
-					label := fmt.Sprintf("workers=%d hooks=%v", workers, hooked)
-					if math.Float64bits(gotRes.BestValLoss) != math.Float64bits(refRes.BestValLoss) {
-						t.Fatalf("%s BestValLoss %v != %v", label, gotRes.BestValLoss, refRes.BestValLoss)
-					}
-					if gotRes.EpochsRun != refRes.EpochsRun {
-						t.Fatalf("%s EpochsRun %d != %d", label, gotRes.EpochsRun, refRes.EpochsRun)
-					}
-					if gotRes.BestEpoch != refRes.BestEpoch {
-						t.Fatalf("%s BestEpoch %d != %d", label, gotRes.BestEpoch, refRes.BestEpoch)
-					}
-					if len(gotRes.History) != len(refRes.History) {
-						t.Fatalf("%s history length %d != %d", label, len(gotRes.History), len(refRes.History))
-					}
-					for e := range refRes.History {
-						a, b := refRes.History[e], gotRes.History[e]
-						if math.Float64bits(a.TrainLoss) != math.Float64bits(b.TrainLoss) ||
-							math.Float64bits(a.ValLoss) != math.Float64bits(b.ValLoss) ||
-							math.Float64bits(a.GradNorm) != math.Float64bits(b.GradNorm) {
-							t.Fatalf("%s history[%d] diverged: %+v != %+v", label, e, b, a)
+					for _, noArena := range []bool{false, true} {
+						if workers == 1 && !hooked && !noArena {
+							continue
 						}
-					}
-					refP, gotP := ref.Model.Params(), got.Model.Params()
-					if len(refP) != len(gotP) {
-						t.Fatalf("param count mismatch")
-					}
-					for i := range refP {
-						for j := range refP[i].V.Data {
-							a, b := refP[i].V.Data[j], gotP[i].V.Data[j]
-							if math.Float64bits(a) != math.Float64bits(b) {
-								t.Fatalf("%s param %s[%d]: %x != %x",
-									label, refP[i].Name, j, math.Float64bits(a), math.Float64bits(b))
+						got, gotRes := run(workers, hooked, noArena)
+						label := fmt.Sprintf("workers=%d hooks=%v arena=%v", workers, hooked, !noArena)
+						if math.Float64bits(gotRes.BestValLoss) != math.Float64bits(refRes.BestValLoss) {
+							t.Fatalf("%s BestValLoss %v != %v", label, gotRes.BestValLoss, refRes.BestValLoss)
+						}
+						if gotRes.EpochsRun != refRes.EpochsRun {
+							t.Fatalf("%s EpochsRun %d != %d", label, gotRes.EpochsRun, refRes.EpochsRun)
+						}
+						if gotRes.BestEpoch != refRes.BestEpoch {
+							t.Fatalf("%s BestEpoch %d != %d", label, gotRes.BestEpoch, refRes.BestEpoch)
+						}
+						if len(gotRes.History) != len(refRes.History) {
+							t.Fatalf("%s history length %d != %d", label, len(gotRes.History), len(refRes.History))
+						}
+						for e := range refRes.History {
+							a, b := refRes.History[e], gotRes.History[e]
+							if math.Float64bits(a.TrainLoss) != math.Float64bits(b.TrainLoss) ||
+								math.Float64bits(a.ValLoss) != math.Float64bits(b.ValLoss) ||
+								math.Float64bits(a.GradNorm) != math.Float64bits(b.GradNorm) {
+								t.Fatalf("%s history[%d] diverged: %+v != %+v", label, e, b, a)
+							}
+						}
+						refP, gotP := ref.Model.Params(), got.Model.Params()
+						if len(refP) != len(gotP) {
+							t.Fatalf("param count mismatch")
+						}
+						for i := range refP {
+							for j := range refP[i].V.Data {
+								a, b := refP[i].V.Data[j], gotP[i].V.Data[j]
+								if math.Float64bits(a) != math.Float64bits(b) {
+									t.Fatalf("%s param %s[%d]: %x != %x",
+										label, refP[i].Name, j, math.Float64bits(a), math.Float64bits(b))
+								}
 							}
 						}
 					}
@@ -313,4 +317,34 @@ func TestTrainEmptyTrainSet(t *testing.T) {
 	if trained.Scale != 1 {
 		t.Fatalf("degenerate scale %v", trained.Scale)
 	}
+}
+
+// TestPredictSteadyStateAllocBudget pins the arena payoff on the serving
+// path: once the pooled prediction contexts are warm, PredictEncoded must
+// stay within a small fixed allocation budget per call (model forward glue
+// like per-head slices — not O(tensor) heap traffic).
+func TestPredictSteadyStateAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode degrades sync.Pool; steady-state counts not meaningful")
+	}
+	_, ds := smallDataset(t, 6)
+	var trainIdx []int
+	for i := range ds.Samples {
+		trainIdx = append(trainIdx, i)
+	}
+	trained, _ := Train(buildArch("Tran", 42), ds, trainIdx, nil, TrainConfig{
+		Epochs: 1, BatchSize: 4, Seed: 13,
+	})
+	e := ds.Samples[0].Encoded
+	trained.PredictEncoded(e) // warm the context pool + arena
+	trained.PredictEncoded(e)
+	allocs := testing.AllocsPerRun(200, func() { trained.PredictEncoded(e) })
+	// Measured steady state is 2 allocs (transformer per-head slice glue);
+	// the budget leaves room for a pool refill after a GC but would catch
+	// any return to per-tensor heap allocation (previously hundreds/call).
+	const budget = 4
+	if allocs > budget {
+		t.Fatalf("PredictEncoded allocates %.1f per call, budget %d", allocs, budget)
+	}
+	t.Logf("PredictEncoded steady-state allocs: %.1f", allocs)
 }

@@ -1,0 +1,110 @@
+package tensor
+
+// Arena is a generation-based free-list allocator for Tensor buffers. The
+// training and prediction hot paths allocate thousands of short-lived
+// intermediates per forward+backward pass; drawing them from an arena and
+// recycling the whole generation with one Reset per step removes that load
+// from the garbage collector entirely — steady state is zero allocations.
+//
+// Contract:
+//
+//   - Get/GetUninit hand out tensors owned by the arena. They remain valid
+//     until the next Reset, at which point their buffers are recycled and
+//     MUST NOT be referenced again.
+//   - Anything that escapes the generation — trained weights, gradients
+//     accumulated across steps, results returned to callers — must be
+//     copied out with Clone (which always heap-allocates) or exempted with
+//     Pin, which permanently removes the tensor from recycling.
+//   - A nil *Arena is valid and simply falls back to plain allocation, so
+//     code paths can be written once and run with or without reuse.
+//   - An Arena is not safe for concurrent use; give each worker goroutine
+//     its own.
+//
+// Buffers are bucketed by power-of-two size class, so a recycled buffer
+// serves any request up to its capacity and steady-state reuse is exact
+// once the arena has seen its largest graph.
+type Arena struct {
+	free map[int][]*Tensor // size class (cap of Data) → recycled tensors
+	used []*Tensor         // tensors handed out this generation
+}
+
+// arenaMinClass is the smallest bucket in float64s; tiny tensors (scalars,
+// bias rows) round up to it so they all share one free list.
+const arenaMinClass = 64
+
+// NewArena returns an empty arena.
+func NewArena() *Arena {
+	return &Arena{free: make(map[int][]*Tensor)}
+}
+
+// sizeClass rounds n up to the next power-of-two bucket.
+func sizeClass(n int) int {
+	c := arenaMinClass
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// Get returns a zero-filled r×c tensor drawn from the arena (or freshly
+// allocated on a nil arena / empty free list).
+func (a *Arena) Get(r, c int) *Tensor {
+	t := a.GetUninit(r, c)
+	if a != nil {
+		clear(t.Data)
+	}
+	return t
+}
+
+// GetUninit is Get without the zero fill, for callers that overwrite every
+// element. The contents of a recycled buffer are unspecified.
+func (a *Arena) GetUninit(r, c int) *Tensor {
+	if a == nil {
+		return New(r, c)
+	}
+	if r < 0 || c < 0 {
+		panic("tensor: negative arena shape")
+	}
+	n := r * c
+	cls := sizeClass(n)
+	if l := a.free[cls]; len(l) > 0 {
+		t := l[len(l)-1]
+		l[len(l)-1] = nil
+		a.free[cls] = l[:len(l)-1]
+		t.R, t.C = r, c
+		t.Data = t.Data[:n]
+		a.used = append(a.used, t)
+		return t
+	}
+	t := &Tensor{R: r, C: c, Data: make([]float64, n, cls)}
+	a.used = append(a.used, t)
+	return t
+}
+
+// Pin exempts t — which must have come from this arena's current
+// generation — from recycling: Reset releases it to the garbage collector
+// instead of the free list, so no later Get can alias its buffer. Returns t
+// for chaining. No-op on a nil arena or a tensor the arena does not own.
+func (a *Arena) Pin(t *Tensor) *Tensor {
+	if a != nil {
+		t.pinned = true
+	}
+	return t
+}
+
+// Reset recycles every unpinned tensor handed out since the previous Reset.
+// All of them become invalid; pinned tensors stay live and untouched.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	for i, t := range a.used {
+		a.used[i] = nil
+		if t.pinned {
+			continue
+		}
+		cls := cap(t.Data)
+		a.free[cls] = append(a.free[cls], t)
+	}
+	a.used = a.used[:0]
+}

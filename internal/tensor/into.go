@@ -1,0 +1,407 @@
+// Destination-passing kernels: every allocating operation in tensor.go has
+// an *Into twin that writes a caller-provided destination, so hot paths
+// (above all the autodiff tape in internal/ag) can draw buffers from an
+// Arena instead of the heap. Each kernel fully defines dst — callers never
+// need to pre-zero — and performs the exact floating-point operations, in
+// the exact order, of its allocating counterpart, so results are bitwise
+// identical whichever entry point is used.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"predtop/internal/parallel"
+)
+
+// checkInto validates a destination shape. The comparison is inlined and
+// the failure path split out so the passing case never boxes its arguments
+// (an assert helper taking ...any costs one allocation per call even when
+// the condition holds).
+func checkInto(dst *Tensor, r, c int, op string) {
+	if dst.R != r || dst.C != c {
+		shapePanic("%s dst %dx%d, want %dx%d", op, dst.R, dst.C, r, c)
+	}
+}
+
+// shapePanic reports a shape mismatch; only ever called on a cold path.
+func shapePanic(format string, args ...any) {
+	panic("tensor: " + fmt.Sprintf(format, args...))
+}
+
+// MatMulInto computes dst = a·b for a (m×k) and b (k×n). dst must not alias
+// a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.C != b.R {
+		shapePanic("MatMul shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C)
+	}
+	checkInto(dst, a.R, b.C, "MatMulInto")
+	m, k, n := a.R, a.C, b.C
+	// The serial path calls the row worker directly: a closure shared with
+	// the parallel branch would escape to the heap on every call, costing
+	// one allocation per matmul even for tiny kernels.
+	if m*k*n < matmulParallelMinFlops {
+		matmulRowRange(dst, a, b, 0, m)
+		return
+	}
+	parallel.ForBlocked(m, matmulRowBlock, func(lo, hi int) {
+		matmulRowRange(dst, a, b, lo, hi)
+	})
+}
+
+func matmulRowRange(dst, a, b *Tensor, lo, hi int) {
+	k, n := a.C, b.C
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := dst.Data[i*n : (i+1)*n]
+		clear(crow)
+		for p := 0; p < k; p++ {
+			axpy(arow[p], b.Data[p*n:(p+1)*n], crow)
+		}
+	}
+}
+
+// MatMulBTInto computes dst = a·bᵀ for a (m×k) and b (n×k). dst must not
+// alias a or b.
+func MatMulBTInto(dst, a, b *Tensor) {
+	if a.C != b.C {
+		shapePanic("MatMulBT shape mismatch %dx%d · (%dx%d)ᵀ", a.R, a.C, b.R, b.C)
+	}
+	checkInto(dst, a.R, b.R, "MatMulBTInto")
+	if a.R*a.C*b.R < matmulParallelMinFlops {
+		matmulBTRowRange(dst, a, b, 0, a.R)
+		return
+	}
+	parallel.ForBlocked(a.R, matmulRowBlock, func(lo, hi int) {
+		matmulBTRowRange(dst, a, b, lo, hi)
+	})
+}
+
+func matmulBTRowRange(dst, a, b *Tensor, lo, hi int) {
+	k := a.C
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		crow := dst.Data[i*b.R : (i+1)*b.R]
+		for j := 0; j < b.R; j++ {
+			crow[j] = dot(arow, b.Data[j*k:(j+1)*k])
+		}
+	}
+}
+
+// MatMulATInto computes dst = aᵀ·b for a (k×m) and b (k×n). dst must not
+// alias a or b.
+func MatMulATInto(dst, a, b *Tensor) {
+	if a.R != b.R {
+		shapePanic("MatMulAT shape mismatch (%dx%d)ᵀ · %dx%d", a.R, a.C, b.R, b.C)
+	}
+	checkInto(dst, a.C, b.C, "MatMulATInto")
+	m, n := a.C, b.C
+	// dst[p][j] = sum_i a[i][p] * b[i][j]; accumulate row blocks serially to
+	// keep writes race-free, parallelizing over output rows.
+	clear(dst.Data)
+	if a.R*m*n < matmulParallelMinFlops {
+		matmulATRowRange(dst, a, b, 0, m)
+		return
+	}
+	parallel.ForBlocked(m, matmulRowBlock, func(lo, hi int) {
+		matmulATRowRange(dst, a, b, lo, hi)
+	})
+}
+
+func matmulATRowRange(dst, a, b *Tensor, lo, hi int) {
+	m, n := a.C, b.C
+	for i := 0; i < a.R; i++ {
+		arow := a.Data[i*m : (i+1)*m]
+		brow := b.Data[i*n : (i+1)*n]
+		for p := lo; p < hi; p++ {
+			if av := arow[p]; av != 0 {
+				axpy(av, brow, dst.Data[p*n:(p+1)*n])
+			}
+		}
+	}
+}
+
+// LinearInto computes the fused dense layer dst = x·w + bias (bias a 1×n
+// row broadcast over rows), the matmul and bias add in one pass over dst.
+// Bitwise-equal to MatMulInto followed by AddRowVecInto. dst must not alias
+// x, w, or bias.
+func LinearInto(dst, x, w, bias *Tensor) {
+	if x.C != w.R {
+		shapePanic("Linear shape mismatch %dx%d · %dx%d", x.R, x.C, w.R, w.C)
+	}
+	if bias.R != 1 || bias.C != w.C {
+		shapePanic("Linear bias wants 1x%d, got %dx%d", w.C, bias.R, bias.C)
+	}
+	checkInto(dst, x.R, w.C, "LinearInto")
+	m, k, n := x.R, x.C, w.C
+	if m*k*n < matmulParallelMinFlops {
+		linearRowRange(dst, x, w, bias, 0, m)
+		return
+	}
+	parallel.ForBlocked(m, matmulRowBlock, func(lo, hi int) {
+		linearRowRange(dst, x, w, bias, lo, hi)
+	})
+}
+
+func linearRowRange(dst, x, w, bias *Tensor, lo, hi int) {
+	k, n := x.C, w.C
+	brow := bias.Data
+	for i := lo; i < hi; i++ {
+		arow := x.Data[i*k : (i+1)*k]
+		crow := dst.Data[i*n : (i+1)*n]
+		clear(crow)
+		for p := 0; p < k; p++ {
+			axpy(arow[p], w.Data[p*n:(p+1)*n], crow)
+		}
+		for j := range crow {
+			crow[j] += brow[j]
+		}
+	}
+}
+
+// transposeBlock is the tile edge of the cache-blocked transpose: 32×32
+// float64 tiles (8 KiB read + 8 KiB written) keep both the row-major reads
+// and the column-strided writes resident in L1 instead of thrashing one
+// cache line per element as the naive column walk does for large C.
+const transposeBlock = 32
+
+// TransposeInto computes dst = tᵀ. dst must not alias t.
+func TransposeInto(dst, t *Tensor) {
+	checkInto(dst, t.C, t.R, "TransposeInto")
+	r, c := t.R, t.C
+	for ii := 0; ii < r; ii += transposeBlock {
+		imax := ii + transposeBlock
+		if imax > r {
+			imax = r
+		}
+		for jj := 0; jj < c; jj += transposeBlock {
+			jmax := jj + transposeBlock
+			if jmax > c {
+				jmax = c
+			}
+			for i := ii; i < imax; i++ {
+				row := t.Data[i*c : (i+1)*c]
+				for j := jj; j < jmax; j++ {
+					dst.Data[j*r+i] = row[j]
+				}
+			}
+		}
+	}
+}
+
+// AddInto computes dst = a + b elementwise. dst may alias a and/or b.
+func AddInto(dst, a, b *Tensor) {
+	if !a.SameShape(b) {
+		shapePanic("elementwise shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
+	}
+	checkInto(dst, a.R, a.C, "AddInto")
+	bd := b.Data
+	for i, v := range a.Data {
+		dst.Data[i] = v + bd[i]
+	}
+}
+
+// SubInto computes dst = a − b elementwise. dst may alias a and/or b.
+func SubInto(dst, a, b *Tensor) {
+	if !a.SameShape(b) {
+		shapePanic("elementwise shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
+	}
+	checkInto(dst, a.R, a.C, "SubInto")
+	bd := b.Data
+	for i, v := range a.Data {
+		dst.Data[i] = v - bd[i]
+	}
+}
+
+// MulInto computes dst = a ⊙ b elementwise. dst may alias a and/or b.
+func MulInto(dst, a, b *Tensor) {
+	if !a.SameShape(b) {
+		shapePanic("elementwise shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
+	}
+	checkInto(dst, a.R, a.C, "MulInto")
+	bd := b.Data
+	for i, v := range a.Data {
+		dst.Data[i] = v * bd[i]
+	}
+}
+
+// DivInto computes dst = a / b elementwise. dst may alias a and/or b.
+func DivInto(dst, a, b *Tensor) {
+	if !a.SameShape(b) {
+		shapePanic("elementwise shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
+	}
+	checkInto(dst, a.R, a.C, "DivInto")
+	bd := b.Data
+	for i, v := range a.Data {
+		dst.Data[i] = v / bd[i]
+	}
+}
+
+// ScaleInto computes dst = s·t. dst may alias t.
+func ScaleInto(dst, t *Tensor, s float64) {
+	checkInto(dst, t.R, t.C, "ScaleInto")
+	for i, v := range t.Data {
+		dst.Data[i] = s * v
+	}
+}
+
+// MapInto computes dst = f applied elementwise to t. dst may alias t.
+func MapInto(dst, t *Tensor, f func(float64) float64) {
+	checkInto(dst, t.R, t.C, "MapInto")
+	for i, v := range t.Data {
+		dst.Data[i] = f(v)
+	}
+}
+
+// AddRowVecInto computes dst = t with the 1×C row vector v added to every
+// row. dst may alias t.
+func AddRowVecInto(dst, t, v *Tensor) {
+	if v.R != 1 || v.C != t.C {
+		shapePanic("AddRowVec wants 1x%d, got %dx%d", t.C, v.R, v.C)
+	}
+	checkInto(dst, t.R, t.C, "AddRowVecInto")
+	for i := 0; i < t.R; i++ {
+		row, orow := t.Row(i), dst.Row(i)
+		for j := range row {
+			orow[j] = row[j] + v.Data[j]
+		}
+	}
+}
+
+// AddOuterInto computes dst[i][j] = a[i] + b[j] from column vectors a (N×1)
+// and b (M×1). dst must not alias a or b.
+func AddOuterInto(dst, a, b *Tensor) {
+	if a.C != 1 || b.C != 1 {
+		shapePanic("AddOuter wants column vectors, got %dx%d and %dx%d", a.R, a.C, b.R, b.C)
+	}
+	checkInto(dst, a.R, b.R, "AddOuterInto")
+	for i := 0; i < a.R; i++ {
+		av := a.Data[i]
+		row := dst.Row(i)
+		for j := 0; j < b.R; j++ {
+			row[j] = av + b.Data[j]
+		}
+	}
+}
+
+// SumRowsInto computes the 1×C vector of column sums into dst.
+func SumRowsInto(dst, t *Tensor) {
+	checkInto(dst, 1, t.C, "SumRowsInto")
+	clear(dst.Data)
+	for i := 0; i < t.R; i++ {
+		row := t.Row(i)
+		for j, v := range row {
+			dst.Data[j] += v
+		}
+	}
+}
+
+// SumColsInto computes the R×1 vector of row sums into dst.
+func SumColsInto(dst, t *Tensor) {
+	checkInto(dst, t.R, 1, "SumColsInto")
+	for i := 0; i < t.R; i++ {
+		s := 0.0
+		for _, v := range t.Row(i) {
+			s += v
+		}
+		dst.Data[i] = s
+	}
+}
+
+// SoftmaxRowsInto computes row-wise softmax of t into dst; mask (may be
+// nil) is an additive logit mask with −Inf disabling positions, and rows
+// whose every position is masked yield all-zero output rather than NaN.
+// dst may alias t (the in-place form used by attention). Mask rows are
+// sliced once per row, keeping the inner loop free of index arithmetic.
+func SoftmaxRowsInto(dst, t, mask *Tensor) {
+	if mask != nil {
+		if !t.SameShape(mask) {
+			shapePanic("SoftmaxRows mask shape mismatch")
+		}
+	}
+	checkInto(dst, t.R, t.C, "SoftmaxRowsInto")
+	for i := 0; i < t.R; i++ {
+		row := t.Row(i)
+		orow := dst.Row(i)
+		maxv := math.Inf(-1)
+		if mask != nil {
+			mrow := mask.Row(i)
+			for j, v := range row {
+				v += mrow[j]
+				orow[j] = v
+				if v > maxv {
+					maxv = v
+				}
+			}
+		} else {
+			for j, v := range row {
+				orow[j] = v
+				if v > maxv {
+					maxv = v
+				}
+			}
+		}
+		if math.IsInf(maxv, -1) {
+			clear(orow)
+			continue
+		}
+		sum := 0.0
+		for j, v := range orow {
+			e := math.Exp(v - maxv)
+			orow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+}
+
+// ConcatColsInto concatenates tensors with equal row counts along columns
+// into dst. dst must not alias any input.
+func ConcatColsInto(dst *Tensor, ts ...*Tensor) {
+	if len(ts) == 0 {
+		checkInto(dst, 0, 0, "ConcatColsInto")
+		return
+	}
+	r := ts[0].R
+	c := 0
+	for _, t := range ts {
+		if t.R != r {
+			shapePanic("ConcatCols row mismatch %d vs %d", t.R, r)
+		}
+		c += t.C
+	}
+	checkInto(dst, r, c, "ConcatColsInto")
+	for i := 0; i < r; i++ {
+		orow := dst.Row(i)
+		off := 0
+		for _, t := range ts {
+			copy(orow[off:off+t.C], t.Row(i))
+			off += t.C
+		}
+	}
+}
+
+// SliceColsInto copies columns [lo, hi) of t into dst.
+func SliceColsInto(dst, t *Tensor, lo, hi int) {
+	if lo < 0 || hi < lo || hi > t.C {
+		shapePanic("SliceCols bad range [%d,%d) of %d", lo, hi, t.C)
+	}
+	checkInto(dst, t.R, hi-lo, "SliceColsInto")
+	for i := 0; i < t.R; i++ {
+		copy(dst.Row(i), t.Row(i)[lo:hi])
+	}
+}
+
+// GatherRowsInto writes t.Row(idx[i]) into dst.Row(i).
+func GatherRowsInto(dst, t *Tensor, idx []int) {
+	checkInto(dst, len(idx), t.C, "GatherRowsInto")
+	for i, id := range idx {
+		if id < 0 || id >= t.R {
+			shapePanic("GatherRows index %d out of %d rows", id, t.R)
+		}
+		copy(dst.Row(i), t.Row(id))
+	}
+}

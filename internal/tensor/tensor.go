@@ -11,14 +11,16 @@ import (
 	"math"
 	"math/rand"
 	"strings"
-
-	"predtop/internal/parallel"
 )
 
 // Tensor is a dense row-major matrix of float64 values.
 type Tensor struct {
 	R, C int
 	Data []float64
+	// pinned marks an arena-owned tensor as escaped (see Arena.Pin): Reset
+	// releases it to the garbage collector instead of the free list. Always
+	// false for tensors allocated outside an arena.
+	pinned bool
 }
 
 // New returns a zero-filled r×c tensor.
@@ -150,20 +152,17 @@ func assertShape(cond bool, format string, args ...any) {
 // matmulRowBlock is the number of output rows handled per parallel task.
 const matmulRowBlock = 16
 
+// matmulParallelMinFlops gates the goroutine fan-out of the matmul kernels:
+// below this many multiply-adds the fork/join overhead dominates the work,
+// so the loop runs serially on the calling goroutine. The cutover never
+// changes results — every output row is computed independently with the
+// same per-row operation order either way.
+const matmulParallelMinFlops = 1 << 17
+
 // MatMul returns a·b for a (m×k) and b (k×n).
 func MatMul(a, b *Tensor) *Tensor {
-	assertShape(a.C == b.R, "MatMul shape mismatch %dx%d · %dx%d", a.R, a.C, b.R, b.C)
 	out := New(a.R, b.C)
-	m, k, n := a.R, a.C, b.C
-	parallel.ForBlocked(m, matmulRowBlock, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			crow := out.Data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				axpy(arow[p], b.Data[p*n:(p+1)*n], crow)
-			}
-		}
-	})
+	MatMulInto(out, a, b)
 	return out
 }
 
@@ -216,66 +215,62 @@ func dot(x, y []float64) float64 {
 // MatMulBT returns a·bᵀ for a (m×k) and b (n×k). This is the layout used by
 // attention scores (Q·Kᵀ) and avoids materializing a transpose.
 func MatMulBT(a, b *Tensor) *Tensor {
-	assertShape(a.C == b.C, "MatMulBT shape mismatch %dx%d · (%dx%d)ᵀ", a.R, a.C, b.R, b.C)
 	out := New(a.R, b.R)
-	k := a.C
-	parallel.ForBlocked(a.R, matmulRowBlock, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			crow := out.Data[i*b.R : (i+1)*b.R]
-			for j := 0; j < b.R; j++ {
-				crow[j] = dot(arow, b.Data[j*k:(j+1)*k])
-			}
-		}
-	})
+	MatMulBTInto(out, a, b)
 	return out
 }
 
 // MatMulAT returns aᵀ·b for a (k×m) and b (k×n). This is the layout used by
 // weight gradients (Xᵀ·dY).
 func MatMulAT(a, b *Tensor) *Tensor {
-	assertShape(a.R == b.R, "MatMulAT shape mismatch (%dx%d)ᵀ · %dx%d", a.R, a.C, b.R, b.C)
 	out := New(a.C, b.C)
-	m, n := a.C, b.C
-	// out[p][j] = sum_i a[i][p] * b[i][j]; accumulate row blocks serially to
-	// keep writes race-free, parallelizing over output rows.
-	parallel.ForBlocked(m, matmulRowBlock, func(lo, hi int) {
-		for i := 0; i < a.R; i++ {
-			arow := a.Data[i*m : (i+1)*m]
-			brow := b.Data[i*n : (i+1)*n]
-			for p := lo; p < hi; p++ {
-				if av := arow[p]; av != 0 {
-					axpy(av, brow, out.Data[p*n:(p+1)*n])
-				}
-			}
-		}
-	})
+	MatMulATInto(out, a, b)
 	return out
 }
 
 // Transpose returns tᵀ.
 func (t *Tensor) Transpose() *Tensor {
 	out := New(t.C, t.R)
-	for i := 0; i < t.R; i++ {
-		for j := 0; j < t.C; j++ {
-			out.Data[j*t.R+i] = t.Data[i*t.C+j]
-		}
-	}
+	TransposeInto(out, t)
 	return out
 }
 
+// The elementwise binaries below are deliberately written as direct loops
+// rather than through zipWith: a per-element closure call blocks inlining
+// and bounds-check elimination on the hottest loops in autodiff backward
+// passes. zipWith survives (unexported) as the reference implementation the
+// property tests compare against.
+
 // Add returns a + b elementwise.
-func Add(a, b *Tensor) *Tensor { return zipWith(a, b, func(x, y float64) float64 { return x + y }) }
+func Add(a, b *Tensor) *Tensor {
+	out := New(a.R, a.C)
+	AddInto(out, a, b)
+	return out
+}
 
 // Sub returns a − b elementwise.
-func Sub(a, b *Tensor) *Tensor { return zipWith(a, b, func(x, y float64) float64 { return x - y }) }
+func Sub(a, b *Tensor) *Tensor {
+	out := New(a.R, a.C)
+	SubInto(out, a, b)
+	return out
+}
 
 // Mul returns a ⊙ b elementwise.
-func Mul(a, b *Tensor) *Tensor { return zipWith(a, b, func(x, y float64) float64 { return x * y }) }
+func Mul(a, b *Tensor) *Tensor {
+	out := New(a.R, a.C)
+	MulInto(out, a, b)
+	return out
+}
 
 // Div returns a / b elementwise.
-func Div(a, b *Tensor) *Tensor { return zipWith(a, b, func(x, y float64) float64 { return x / y }) }
+func Div(a, b *Tensor) *Tensor {
+	out := New(a.R, a.C)
+	DivInto(out, a, b)
+	return out
+}
 
+// zipWith is the closure-based elementwise reference kept for the property
+// tests in into_test.go; production code uses the specialized loops above.
 func zipWith(a, b *Tensor, f func(x, y float64) float64) *Tensor {
 	assertShape(a.SameShape(b), "elementwise shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
 	out := New(a.R, a.C)
@@ -287,7 +282,9 @@ func zipWith(a, b *Tensor, f func(x, y float64) float64) *Tensor {
 
 // AddInPlace accumulates b into a.
 func AddInPlace(a, b *Tensor) {
-	assertShape(a.SameShape(b), "AddInPlace shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
+	if !a.SameShape(b) {
+		shapePanic("AddInPlace shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
+	}
 	for i := range a.Data {
 		a.Data[i] += b.Data[i]
 	}
@@ -295,7 +292,9 @@ func AddInPlace(a, b *Tensor) {
 
 // AddScaledInPlace accumulates s·b into a.
 func AddScaledInPlace(a *Tensor, s float64, b *Tensor) {
-	assertShape(a.SameShape(b), "AddScaledInPlace shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
+	if !a.SameShape(b) {
+		shapePanic("AddScaledInPlace shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
+	}
 	for i := range a.Data {
 		a.Data[i] += s * b.Data[i]
 	}
@@ -304,71 +303,43 @@ func AddScaledInPlace(a *Tensor, s float64, b *Tensor) {
 // Scale returns s·t.
 func Scale(t *Tensor, s float64) *Tensor {
 	out := New(t.R, t.C)
-	for i, v := range t.Data {
-		out.Data[i] = s * v
-	}
+	ScaleInto(out, t, s)
 	return out
 }
 
 // Map returns f applied elementwise.
 func Map(t *Tensor, f func(float64) float64) *Tensor {
 	out := New(t.R, t.C)
-	for i, v := range t.Data {
-		out.Data[i] = f(v)
-	}
+	MapInto(out, t, f)
 	return out
 }
 
 // AddRowVec returns t with the 1×C row vector v added to every row.
 func AddRowVec(t, v *Tensor) *Tensor {
-	assertShape(v.R == 1 && v.C == t.C, "AddRowVec wants 1x%d, got %dx%d", t.C, v.R, v.C)
 	out := New(t.R, t.C)
-	for i := 0; i < t.R; i++ {
-		row, orow := t.Row(i), out.Row(i)
-		for j := range row {
-			orow[j] = row[j] + v.Data[j]
-		}
-	}
+	AddRowVecInto(out, t, v)
 	return out
 }
 
 // AddOuter returns the N×M matrix a·1ᵀ + 1·bᵀ from column vectors a (N×1)
 // and b (M×1): out[i][j] = a[i] + b[j]. Used by GAT attention logits.
 func AddOuter(a, b *Tensor) *Tensor {
-	assertShape(a.C == 1 && b.C == 1, "AddOuter wants column vectors, got %dx%d and %dx%d", a.R, a.C, b.R, b.C)
 	out := New(a.R, b.R)
-	for i := 0; i < a.R; i++ {
-		av := a.Data[i]
-		row := out.Row(i)
-		for j := 0; j < b.R; j++ {
-			row[j] = av + b.Data[j]
-		}
-	}
+	AddOuterInto(out, a, b)
 	return out
 }
 
 // SumRows returns the 1×C vector of column sums (summing over rows).
 func SumRows(t *Tensor) *Tensor {
 	out := New(1, t.C)
-	for i := 0; i < t.R; i++ {
-		row := t.Row(i)
-		for j, v := range row {
-			out.Data[j] += v
-		}
-	}
+	SumRowsInto(out, t)
 	return out
 }
 
 // SumCols returns the R×1 vector of row sums (summing over columns).
 func SumCols(t *Tensor) *Tensor {
 	out := New(t.R, 1)
-	for i := 0; i < t.R; i++ {
-		s := 0.0
-		for _, v := range t.Row(i) {
-			s += v
-		}
-		out.Data[i] = s
-	}
+	SumColsInto(out, t)
 	return out
 }
 
@@ -396,40 +367,8 @@ func (t *Tensor) MaxAbs() float64 {
 // to the logits first (entries of −Inf disable positions). Rows whose every
 // position is masked yield all-zero output rather than NaN.
 func SoftmaxRows(t, mask *Tensor) *Tensor {
-	if mask != nil {
-		assertShape(t.SameShape(mask), "SoftmaxRows mask shape mismatch")
-	}
 	out := New(t.R, t.C)
-	for i := 0; i < t.R; i++ {
-		row := t.Row(i)
-		orow := out.Row(i)
-		maxv := math.Inf(-1)
-		for j, v := range row {
-			if mask != nil {
-				v += mask.At(i, j)
-			}
-			orow[j] = v
-			if v > maxv {
-				maxv = v
-			}
-		}
-		if math.IsInf(maxv, -1) {
-			for j := range orow {
-				orow[j] = 0
-			}
-			continue
-		}
-		sum := 0.0
-		for j, v := range orow {
-			e := math.Exp(v - maxv)
-			orow[j] = e
-			sum += e
-		}
-		inv := 1 / sum
-		for j := range orow {
-			orow[j] *= inv
-		}
-	}
+	SoftmaxRowsInto(out, t, mask)
 	return out
 }
 
@@ -438,41 +377,29 @@ func ConcatCols(ts ...*Tensor) *Tensor {
 	if len(ts) == 0 {
 		return New(0, 0)
 	}
-	r := ts[0].R
 	c := 0
 	for _, t := range ts {
-		assertShape(t.R == r, "ConcatCols row mismatch %d vs %d", t.R, r)
 		c += t.C
 	}
-	out := New(r, c)
-	for i := 0; i < r; i++ {
-		orow := out.Row(i)
-		off := 0
-		for _, t := range ts {
-			copy(orow[off:off+t.C], t.Row(i))
-			off += t.C
-		}
-	}
+	out := New(ts[0].R, c)
+	ConcatColsInto(out, ts...)
 	return out
 }
 
 // SliceCols returns columns [lo, hi) of t as a new tensor.
 func SliceCols(t *Tensor, lo, hi int) *Tensor {
-	assertShape(0 <= lo && lo <= hi && hi <= t.C, "SliceCols bad range [%d,%d) of %d", lo, hi, t.C)
-	out := New(t.R, hi-lo)
-	for i := 0; i < t.R; i++ {
-		copy(out.Row(i), t.Row(i)[lo:hi])
+	if lo < 0 || hi < lo || hi > t.C {
+		shapePanic("SliceCols bad range [%d,%d) of %d", lo, hi, t.C)
 	}
+	out := New(t.R, hi-lo)
+	SliceColsInto(out, t, lo, hi)
 	return out
 }
 
 // GatherRows returns the tensor whose i-th row is t.Row(idx[i]).
 func GatherRows(t *Tensor, idx []int) *Tensor {
 	out := New(len(idx), t.C)
-	for i, id := range idx {
-		assertShape(0 <= id && id < t.R, "GatherRows index %d out of %d rows", id, t.R)
-		copy(out.Row(i), t.Row(id))
-	}
+	GatherRowsInto(out, t, idx)
 	return out
 }
 
