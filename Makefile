@@ -26,7 +26,9 @@ test:
 # The race pass runs in -short mode: it still exercises the concurrent
 # training, reduction, and experiment paths — including the hook-instrumented
 # training tests (TestTrainHooksAndHistory and the hooked rows of the
-# bitwise-determinism table) — but drops the slow grid regenerations.
+# bitwise-determinism table), the flight-recorder panic-injection tests in
+# internal/parallel and internal/obs, and the concurrent ring-buffer writes —
+# but drops the slow grid regenerations.
 race:
 	$(GO) test -race -short ./internal/...
 
@@ -42,8 +44,11 @@ bench:
 
 # bench-compare runs the benchmarks fresh (without archiving) and prints
 # ns/op, B/op, and allocs/op deltas against the most recent BENCH_*.json.
+# -allocthreshold 10 turns the comparison into a gate: any benchmark whose
+# allocs/op grew >10% — or allocated at all from a zero-alloc baseline, which
+# pins the guarded instrumentation-off hot paths — fails the target.
 bench-compare:
 	@base=$$(ls -t BENCH_*.json 2>/dev/null | head -1); \
 	if [ -z "$$base" ]; then echo "no BENCH_*.json baseline; run 'make bench' first"; exit 1; fi; \
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' -json . | \
-		$(GO) run ./cmd/predtop-benchcmp -base $$base
+		$(GO) run ./cmd/predtop-benchcmp -base $$base -allocthreshold 10

@@ -7,6 +7,12 @@
 //
 //	go test -bench=. -benchmem -benchtime=1x -run '^$' -json . |
 //	    predtop-benchcmp -base BENCH_2026-08-06.json
+//
+// With -allocthreshold N the comparison also acts as a regression gate:
+// any benchmark whose allocs/op grew by more than N percent over the
+// baseline — or allocated at all where the baseline was zero, which is how
+// the guarded zero-alloc hot paths are pinned — fails the run with exit
+// status 1 after the full report prints.
 package main
 
 import (
@@ -122,6 +128,8 @@ func humanize(v float64) string {
 func main() {
 	base := flag.String("base", "", "baseline BENCH_*.json archive (required)")
 	next := flag.String("new", "", "new run archive; reads the event stream from stdin when omitted")
+	allocThreshold := flag.Float64("allocthreshold", 0,
+		"fail (exit 1) when any benchmark's allocs/op grows by more than this percentage; a zero-alloc baseline fails on any allocation (0 = off)")
 	flag.Parse()
 	if *base == "" {
 		fmt.Fprintln(os.Stderr, "usage: predtop-benchcmp -base BENCH_old.json [-new BENCH_new.json]")
@@ -154,6 +162,7 @@ func main() {
 	sort.Strings(names)
 
 	fmt.Printf("baseline: %s\n", *base)
+	var regressions []string
 	for _, name := range names {
 		n := newRes[name]
 		b, ok := baseRes[name]
@@ -162,6 +171,9 @@ func main() {
 			b = result{}
 		} else {
 			fmt.Printf("%s\n", name)
+			if r := allocRegression(*allocThreshold, b.AllocsPerOp, n.AllocsPerOp); r != "" {
+				regressions = append(regressions, fmt.Sprintf("%s: %s", name, r))
+			}
 		}
 		fmt.Printf("  %s\n", delta("ns/op", b.NsPerOp, n.NsPerOp))
 		fmt.Printf("  %s\n", delta("B/op", b.BytesPerOp, n.BytesPerOp))
@@ -172,4 +184,31 @@ func main() {
 			fmt.Printf("%s: present in baseline only\n", name)
 		}
 	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: allocs/op regressions over %.0f%% threshold:\n", *allocThreshold)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+}
+
+// allocRegression reports why a benchmark fails the -allocthreshold gate, or
+// "" when it passes. A zero-alloc baseline is a pinned hot path: any
+// allocation at all regresses it, regardless of the percentage threshold.
+func allocRegression(threshold, old, new float64) string {
+	if threshold <= 0 {
+		return ""
+	}
+	if old == 0 {
+		if new > 0 {
+			return fmt.Sprintf("zero-alloc baseline now allocates %s allocs/op", humanize(new))
+		}
+		return ""
+	}
+	pct := (new - old) / old * 100
+	if pct > threshold {
+		return fmt.Sprintf("allocs/op %s → %s (%+.1f%%)", humanize(old), humanize(new), pct)
+	}
+	return ""
 }

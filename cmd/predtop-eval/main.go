@@ -6,16 +6,28 @@
 //
 //	predtop-eval [-preset quick|paper] [-bench GPT-3|MoE|all]
 //	             [-platform 1|2|0] [-fig3frac 50] [-out results.txt]
-//	             [-metrics run.jsonl] [-trace run.json] [-quiet]
+//	             [-metrics run.jsonl] [-trace run.json] [-listen :9090]
+//	             [-profile spans.txt] [-driftmre 25] [-quiet]
 //
-// -metrics streams JSONL records (run config, one record per grid cell, a
-// final metrics snapshot); -trace writes a Chrome-tracing JSON timeline of
-// the grid runs, loadable in Perfetto; -quiet silences the per-cell progress
-// on stderr (the report itself still prints). All three observe only — the
-// tables are bitwise identical with or without them.
+// -metrics streams JSONL records (run config, one record per grid cell,
+// per-family accuracy records, a final metrics snapshot); -trace writes a
+// Chrome-tracing JSON timeline of the grid runs, loadable in Perfetto;
+// -listen serves live telemetry over HTTP while the grids run (GET /metrics
+// in Prometheus text format, GET /healthz, GET /debug/flightrecorder,
+// /debug/pprof/); -profile writes a hierarchical self-time span tree covering
+// grid phases and predictor layers; -driftmre arms the accuracy monitor's
+// drift warning at the given MRE percentage; -quiet silences the per-cell
+// progress on stderr (the report itself still prints). All of them observe
+// only — the tables are bitwise identical with or without them.
+//
+// Every run derives a deterministic trace id from the preset seed, stamped
+// onto every telemetry channel (see predtop-train's doc comment); worker
+// panics and SIGQUIT dump the flight recorder's recent events plus goroutine
+// stacks.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +38,7 @@ import (
 	"predtop/internal/cluster"
 	"predtop/internal/experiments"
 	"predtop/internal/obs"
+	"predtop/internal/parallel"
 )
 
 func main() {
@@ -39,6 +52,9 @@ func main() {
 	out := flag.String("out", "", "also write the report to this file")
 	metricsPath := flag.String("metrics", "", "write JSONL run records and a metrics snapshot to this file")
 	tracePath := flag.String("trace", "", "write a Chrome-tracing (Perfetto) JSON file to this path")
+	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/flightrecorder, /debug/pprof/) on this address, e.g. :9090")
+	profilePath := flag.String("profile", "", "write a per-phase/per-layer self-time span profile to this file")
+	driftMRE := flag.Float64("driftmre", 0, "warn and count drift when a grid cell family's test MRE exceeds this percentage (0 = off)")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress on stderr (the report still prints)")
 	flag.Parse()
 
@@ -55,6 +71,14 @@ func main() {
 	}
 	p.Workers = *workers
 
+	tc := obs.NewTraceContext(p.Seed, "predtop-eval")
+	ctx := obs.WithTraceContext(context.Background(), tc)
+	fr := obs.NewFlightRecorder(0)
+	fr.SetTraceContext(tc)
+	parallel.SetPanicHook(fr.PanicHook(os.Stderr))
+	stopSig := fr.HandleSignals(os.Stderr)
+	defer stopSig()
+
 	var sink *obs.Sink
 	var reg *obs.Registry
 	if *metricsPath != "" {
@@ -64,16 +88,48 @@ func main() {
 		}
 		defer f.Close()
 		sink = obs.NewSink(f)
+		sink.SetTraceContext(tc)
+		sink.AttachFlight(fr)
 		reg = obs.NewRegistry()
 	}
 	var tb *obs.TraceBuilder
 	if *tracePath != "" {
 		tb = obs.NewTrace()
+		tb.SetTraceID(tc.TraceID())
 	}
-	if sink != nil || tb != nil {
-		p.Obs = &obs.Observer{Metrics: reg, Events: sink, Trace: tb}
+	if *listen != "" && reg == nil {
+		reg = obs.NewRegistry()
 	}
-	progress := obs.NewLogger(os.Stderr, *quiet).Writer()
+	reg.SetRunInfo(tc)
+	var prof *obs.Profiler
+	if *profilePath != "" {
+		prof = obs.NewProfiler()
+		if tb != nil {
+			prof.AttachTrace(tb, "spans")
+		}
+	}
+	progressLg := obs.NewLogger(os.Stderr, *quiet).WithTrace(tc)
+	var acc *obs.AccuracyMonitor
+	if reg != nil || sink != nil {
+		acc = obs.NewAccuracyMonitor(obs.AccuracyConfig{
+			DriftThresholdPct: *driftMRE, Metrics: reg, Log: progressLg,
+		})
+	}
+	if sink != nil || tb != nil || reg != nil || prof != nil {
+		p.Obs = &obs.Observer{Metrics: reg, Events: sink, Trace: tb, Prof: prof, Acc: acc, Flight: fr, Ctx: tc}
+	}
+	progress := progressLg.Writer()
+	if *listen != "" {
+		srv, err := obs.StartServer(ctx, obs.ServerConfig{Addr: *listen, Registry: reg, Flight: fr})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		sampler := obs.StartRuntimeSampler(reg, 0)
+		defer sampler.Stop()
+		progressLg.Printf("serving telemetry at %s/metrics", srv.URL())
+	}
+	fr.Note("run", "start")
 	sink.Emit(struct {
 		Event    string `json:"event"`
 		Tool     string `json:"tool"`
@@ -139,12 +195,18 @@ func main() {
 		}
 	}
 
+	acc.EmitTo(sink)
 	sink.EmitMetrics(reg)
-	if err := sink.Err(); err != nil {
+	if err := sink.Close(); err != nil {
 		log.Fatalf("writing %s: %v", *metricsPath, err)
 	}
 	if *tracePath != "" {
 		if err := tb.WriteFile(*tracePath); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *profilePath != "" {
+		if err := prof.WriteFile(*profilePath); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -8,18 +8,24 @@
 //
 //	predtop-plan [-preset quick|paper] [-bench GPT-3|MoE|all] [-out results.txt]
 //	             [-metrics run.jsonl] [-trace run.json] [-listen :9090]
-//	             [-profile spans.txt] [-quiet]
+//	             [-profile spans.txt] [-driftmre 25] [-quiet]
 //
 // -metrics streams JSONL records (run config, one plan_run record per
-// planner version, a final metrics snapshot); -trace writes a Chrome-tracing
-// JSON timeline — optimize/evaluate spans per planner version plus the
-// simulated 1F1B schedule of each feasible plan — loadable in Perfetto;
-// -listen serves live telemetry over HTTP while the search runs (GET /metrics
-// in Prometheus text format, GET /healthz, /debug/pprof/); -profile writes a
-// hierarchical self-time span tree covering planner phases (estimate, DP) and
-// embedded predictor training; -quiet silences the per-run progress on stderr
+// planner version, per-family accuracy records, a final metrics snapshot);
+// -trace writes a Chrome-tracing JSON timeline — optimize/evaluate spans per
+// planner version plus the simulated 1F1B schedule of each feasible plan —
+// loadable in Perfetto; -listen serves live telemetry over HTTP while the
+// search runs (GET /metrics in Prometheus text format, GET /healthz,
+// GET /debug/flightrecorder, /debug/pprof/); -profile writes a hierarchical
+// self-time span tree covering planner phases (estimate, DP) and embedded
+// predictor training; -driftmre arms the accuracy monitor's drift warning at
+// the given MRE percentage; -quiet silences the per-run progress on stderr
 // (the report still prints). All of them observe only — plans are bitwise
 // identical with or without them.
+//
+// Every run derives a deterministic trace id from -seed, stamped onto every
+// telemetry channel (see predtop-train's doc comment); worker panics and
+// SIGQUIT dump the flight recorder's recent events plus goroutine stacks.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 
 	"predtop/internal/experiments"
 	"predtop/internal/obs"
+	"predtop/internal/parallel"
 )
 
 func main() {
@@ -42,8 +49,9 @@ func main() {
 	out := flag.String("out", "", "also write the report to this file")
 	metricsPath := flag.String("metrics", "", "write JSONL run records and a metrics snapshot to this file")
 	tracePath := flag.String("trace", "", "write a Chrome-tracing (Perfetto) JSON file to this path")
-	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/pprof/) on this address, e.g. :9090")
+	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/flightrecorder, /debug/pprof/) on this address, e.g. :9090")
 	profilePath := flag.String("profile", "", "write a per-phase self-time span profile to this file")
+	driftMRE := flag.Float64("driftmre", 0, "warn and count drift when a predictor family's validation MRE exceeds this percentage (0 = off)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr (the report still prints)")
 	flag.Parse()
 
@@ -60,6 +68,14 @@ func main() {
 	}
 	p.Workers = *workers
 
+	tc := obs.NewTraceContext(p.Seed, "predtop-plan")
+	ctx := obs.WithTraceContext(context.Background(), tc)
+	fr := obs.NewFlightRecorder(0)
+	fr.SetTraceContext(tc)
+	parallel.SetPanicHook(fr.PanicHook(os.Stderr))
+	stopSig := fr.HandleSignals(os.Stderr)
+	defer stopSig()
+
 	var sink *obs.Sink
 	var reg *obs.Registry
 	if *metricsPath != "" {
@@ -69,15 +85,19 @@ func main() {
 		}
 		defer f.Close()
 		sink = obs.NewSink(f)
+		sink.SetTraceContext(tc)
+		sink.AttachFlight(fr)
 		reg = obs.NewRegistry()
 	}
 	var tb *obs.TraceBuilder
 	if *tracePath != "" {
 		tb = obs.NewTrace()
+		tb.SetTraceID(tc.TraceID())
 	}
 	if *listen != "" && reg == nil {
 		reg = obs.NewRegistry()
 	}
+	reg.SetRunInfo(tc)
 	var prof *obs.Profiler
 	if *profilePath != "" {
 		prof = obs.NewProfiler()
@@ -85,20 +105,28 @@ func main() {
 			prof.AttachTrace(tb, "spans")
 		}
 	}
-	if sink != nil || tb != nil || reg != nil || prof != nil {
-		p.Obs = &obs.Observer{Metrics: reg, Events: sink, Trace: tb, Prof: prof}
+	progressLg := obs.NewLogger(os.Stderr, *quiet).WithTrace(tc)
+	var acc *obs.AccuracyMonitor
+	if reg != nil || sink != nil {
+		acc = obs.NewAccuracyMonitor(obs.AccuracyConfig{
+			DriftThresholdPct: *driftMRE, Metrics: reg, Log: progressLg,
+		})
 	}
-	progress := obs.NewLogger(os.Stderr, *quiet).Writer()
+	if sink != nil || tb != nil || reg != nil || prof != nil {
+		p.Obs = &obs.Observer{Metrics: reg, Events: sink, Trace: tb, Prof: prof, Acc: acc, Flight: fr, Ctx: tc}
+	}
+	progress := progressLg.Writer()
 	if *listen != "" {
-		srv, err := obs.StartServer(context.Background(), obs.ServerConfig{Addr: *listen, Registry: reg})
+		srv, err := obs.StartServer(ctx, obs.ServerConfig{Addr: *listen, Registry: reg, Flight: fr})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer srv.Close()
 		sampler := obs.StartRuntimeSampler(reg, 0)
 		defer sampler.Stop()
-		fmt.Fprintf(progress, "serving telemetry at %s/metrics\n", srv.URL())
+		progressLg.Printf("serving telemetry at %s/metrics", srv.URL())
 	}
+	fr.Note("run", "start")
 	sink.Emit(struct {
 		Event   string `json:"event"`
 		Tool    string `json:"tool"`
@@ -125,8 +153,9 @@ func main() {
 		fmt.Fprintln(w, experiments.RenderFig10(b.Name, runs))
 	}
 
+	acc.EmitTo(sink)
 	sink.EmitMetrics(reg)
-	if err := sink.Err(); err != nil {
+	if err := sink.Close(); err != nil {
 		log.Fatalf("writing %s: %v", *metricsPath, err)
 	}
 	if *tracePath != "" {

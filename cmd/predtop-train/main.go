@@ -7,18 +7,27 @@
 //	predtop-train -bench GPT-3 -platform 2 -mesh 1 -conf 1 -arch tran \
 //	              -layers 12 -samples 0 -maxlen 3 -epochs 30 -o model.predtop \
 //	              [-metrics run.jsonl] [-trace run.json] [-listen :9090] \
-//	              [-profile spans.txt] [-quiet]
+//	              [-profile spans.txt] [-driftmre 25] [-quiet]
 //
 // -metrics streams JSONL records (run config, one record per epoch, a final
-// summary, and a metrics snapshot); -trace writes a Chrome-tracing JSON file
-// (profile/train/evaluate phases plus one slice per training epoch) loadable
-// in Perfetto; -listen serves live telemetry over HTTP while the run is in
-// flight — GET /metrics in Prometheus text format (training counters and
-// histograms plus sampled Go runtime gauges), GET /healthz, and /debug/pprof/;
-// -profile writes a hierarchical self-time span tree attributing wall time to
-// training phases and individual predictor layers; -quiet suppresses progress
+// summary, accuracy records, and a metrics snapshot); -trace writes a
+// Chrome-tracing JSON file (profile/train/evaluate phases plus one slice per
+// training epoch) loadable in Perfetto; -listen serves live telemetry over
+// HTTP while the run is in flight — GET /metrics in Prometheus text format
+// (training counters and histograms plus sampled Go runtime gauges),
+// GET /healthz, GET /debug/flightrecorder, and /debug/pprof/; -profile writes
+// a hierarchical self-time span tree attributing wall time to training phases
+// and individual predictor layers; -driftmre arms the accuracy monitor's
+// drift warning at the given MRE percentage; -quiet suppresses progress
 // lines. All of them observe only — trained weights are bitwise identical
 // with or without them.
+//
+// Every run derives a deterministic trace id from -seed; the same id appears
+// in the Prometheus exposition (predtop_run_info), every JSONL record, the
+// Chrome trace metadata, progress log lines, and flight-recorder dumps, so a
+// single grep correlates all channels of one run. A panic in any parallel
+// worker dumps the flight recorder's recent-event window plus goroutine
+// stacks to stderr as JSONL before the panic surfaces, as does SIGQUIT.
 package main
 
 import (
@@ -49,12 +58,22 @@ func main() {
 	out := flag.String("o", "model.predtop", "output model path")
 	metricsPath := flag.String("metrics", "", "write JSONL run records and a metrics snapshot to this file")
 	tracePath := flag.String("trace", "", "write a Chrome-tracing (Perfetto) JSON file to this path")
-	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/pprof/) on this address, e.g. :9090")
+	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/flightrecorder, /debug/pprof/) on this address, e.g. :9090")
 	profilePath := flag.String("profile", "", "write a per-phase/per-layer self-time span profile to this file")
+	driftMRE := flag.Float64("driftmre", 0, "warn and count drift when held-out MRE exceeds this percentage (0 = off)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 
-	lg := predtop.NewProgressLogger(os.Stdout, *quiet)
+	// One deterministic correlation identity per run: seed in, trace id out.
+	tc := predtop.NewTraceContext(*seed, "predtop-train")
+	ctx := predtop.WithTraceContext(context.Background(), tc)
+	fr := predtop.NewFlightRecorder(0)
+	fr.SetTraceContext(tc)
+	predtop.SetWorkerPanicHook(fr.PanicHook(os.Stderr))
+	stopSig := fr.HandleSignals(os.Stderr)
+	defer stopSig()
+
+	lg := predtop.NewProgressLogger(os.Stdout, *quiet).WithTrace(tc)
 	var sink *predtop.EventSink
 	var reg *predtop.MetricsRegistry
 	if *metricsPath != "" {
@@ -64,18 +83,21 @@ func main() {
 		}
 		defer f.Close()
 		sink = predtop.NewEventSink(f)
+		sink.SetTraceContext(tc)
+		sink.AttachFlight(fr)
 		reg = predtop.NewMetricsRegistry()
 	}
 	var tb *predtop.TraceBuilder
 	if *tracePath != "" {
 		tb = predtop.NewTrace()
+		tb.SetTraceID(tc.TraceID())
 	}
 	if *listen != "" {
 		if reg == nil {
 			reg = predtop.NewMetricsRegistry()
 		}
-		srv, err := predtop.StartMetricsServer(context.Background(), predtop.MetricsServerConfig{
-			Addr: *listen, Registry: reg,
+		srv, err := predtop.StartMetricsServer(ctx, predtop.MetricsServerConfig{
+			Addr: *listen, Registry: reg, Flight: fr,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -85,12 +107,19 @@ func main() {
 		defer sampler.Stop()
 		lg.Printf("serving telemetry at %s/metrics", srv.URL())
 	}
+	reg.SetRunInfo(tc)
 	var prof *predtop.SpanProfiler
 	if *profilePath != "" {
 		prof = predtop.NewSpanProfiler()
 		if tb != nil {
 			prof.AttachTrace(tb, "spans")
 		}
+	}
+	var acc *predtop.AccuracyMonitor
+	if reg != nil || sink != nil {
+		acc = predtop.NewAccuracyMonitor(predtop.AccuracyConfig{
+			DriftThresholdPct: *driftMRE, MinSamples: 1, Metrics: reg, Log: lg,
+		})
 	}
 
 	cfg := predtop.GPT3Config()
@@ -117,6 +146,7 @@ func main() {
 		log.Fatalf("no scenario mesh=%d conf=%d on platform %d", *meshIdx, *confIdx, *platformSel)
 	}
 
+	fr.Note("run", "start")
 	sink.Emit(struct {
 		Event    string `json:"event"`
 		Tool     string `json:"tool"`
@@ -137,6 +167,7 @@ func main() {
 	enc := predtop.NewEncoder(model, true)
 	ds := predtop.BuildDataset(enc, specs, scenario, predtop.DefaultProfiler())
 	profSpan.End()
+	fr.Note("run", "profiled")
 	lg.Printf("profiled %d stages of %s under %v", len(ds.Samples), cfg.Name, scenario)
 
 	var net predtop.PredictorModel
@@ -159,6 +190,7 @@ func main() {
 	hooks := &predtop.TrainHooks{
 		Metrics:  reg,
 		Profiler: prof,
+		Flight:   fr,
 		OnEpoch: func(e predtop.EpochStats) {
 			sink.Emit(struct {
 				Event string `json:"event"`
@@ -195,8 +227,13 @@ func main() {
 		net.Name(), res.EpochsRun, res.BestValLoss, res.BestEpoch, res.WallSeconds)
 
 	evalSpan := tb.Begin("phases", "evaluate")
-	mre := trained.MRE(ds, test)
+	mre := trained.MREWith(ds, test, acc, predtop.AccuracyKey{
+		Family: net.Name(),
+		Mesh:   fmt.Sprintf("%dx%d", scenario.Mesh.Nodes, scenario.Mesh.GPUsPerNode),
+		Op:     cfg.Name,
+	})
 	evalSpan.End()
+	fr.Note("run", "evaluated")
 	lg.Printf("test MRE: %.2f%% over %d held-out stages", mre, len(test))
 
 	sink.Emit(struct {
@@ -208,8 +245,9 @@ func main() {
 		TestMRE     float64 `json:"test_mre_pct"`
 		TestStages  int     `json:"test_stages"`
 	}{"summary", res.EpochsRun, res.BestEpoch, res.BestValLoss, res.WallSeconds, mre, len(test)})
+	acc.EmitTo(sink)
 	sink.EmitMetrics(reg)
-	if err := sink.Err(); err != nil {
+	if err := sink.Close(); err != nil {
 		log.Fatalf("writing %s: %v", *metricsPath, err)
 	}
 	if *tracePath != "" {

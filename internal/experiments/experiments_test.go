@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"strings"
@@ -8,6 +9,7 @@ import (
 
 	"predtop/internal/cluster"
 	"predtop/internal/graphnn"
+	"predtop/internal/obs"
 	"predtop/internal/predictor"
 )
 
@@ -102,6 +104,67 @@ func TestRunMRETableEndToEnd(t *testing.T) {
 	}
 	if out := RenderFig3([]*MRETable{tab}, 70); !strings.Contains(out, "Tran") {
 		t.Fatal("Fig 3 render empty")
+	}
+}
+
+// TestMRETableAccuracyMonitor: the online accuracy monitor fed from the grid
+// cells must reproduce the offline table figures — each per-(family,mesh)
+// streaming MRE is the sample-weighted mean of that group's cell MREs, so it
+// lies within the group's cell range and, for single-cell groups, matches the
+// cell to floating-point tolerance.
+func TestMRETableAccuracyMonitor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	p := micro()
+	p.Fractions = []int{70} // one fraction → at most one cell per (family, mesh)
+	p.Workers = 1
+	reg := obs.NewRegistry()
+	acc := obs.NewAccuracyMonitor(obs.AccuracyConfig{MinSamples: 1, Metrics: reg})
+	p.Obs = &obs.Observer{Metrics: reg, Acc: acc}
+	bench := p.Benchmarks()[0]
+	tab := RunMRETable(p, bench, cluster.Platform1(), nil)
+
+	keys := acc.Keys()
+	if len(keys) == 0 {
+		t.Fatal("monitor saw no residuals")
+	}
+	meshOf := func(sc cluster.Scenario) string {
+		return fmt.Sprintf("%dx%d", sc.Mesh.Nodes, sc.Mesh.GPUsPerNode)
+	}
+	for mi, family := range ModelNames {
+		// Group the table's cells by mesh shape, mirroring the monitor keys.
+		groups := map[string][]float64{}
+		for si, sc := range tab.Scenarios {
+			m := meshOf(sc)
+			groups[m] = append(groups[m], tab.MRE[0][si][mi])
+		}
+		for mesh, cellMREs := range groups {
+			key := obs.AccuracyKey{Family: family, Mesh: mesh, Op: bench.Name}
+			st, ok := acc.Stats(key)
+			if !ok {
+				t.Fatalf("no monitor stats for %+v", key)
+			}
+			lo, hi := cellMREs[0], cellMREs[0]
+			for _, v := range cellMREs {
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+			tol := 1e-9 * (1 + hi)
+			if st.MeanPct < lo-tol || st.MeanPct > hi+tol {
+				t.Fatalf("%+v streaming MRE %.6f outside cell range [%.6f, %.6f]", key, st.MeanPct, lo, hi)
+			}
+			if len(cellMREs) == 1 && math.Abs(st.MeanPct-cellMREs[0]) > tol {
+				t.Fatalf("%+v streaming MRE %.12f != cell MRE %.12f", key, st.MeanPct, cellMREs[0])
+			}
+			if st.P95Pct < st.P50Pct || st.MaxPct < st.P95Pct {
+				t.Fatalf("%+v quantiles not ordered: %+v", key, st)
+			}
+			// The labeled gauge in the registry carries the same value.
+			labels := []obs.Label{{Key: "family", Value: family}, {Key: "mesh", Value: mesh}, {Key: "op", Value: bench.Name}}
+			if g := reg.GaugeWith(obs.AccuracyMREMetric, labels...); g.Value() != st.MeanPct {
+				t.Fatalf("%+v gauge %.6f != stats %.6f", key, g.Value(), st.MeanPct)
+			}
+		}
 	}
 }
 

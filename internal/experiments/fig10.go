@@ -70,7 +70,7 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 	// Predictor training inside the planner reports to the same observer as
 	// everything else (hooks only observe, so plans are unchanged).
 	planTrain := trainConfig(p.PlanTrain, p.Workers)
-	planTrain.Hooks = &predictor.TrainHooks{Metrics: p.Obs.Registry(), Profiler: p.Obs.Profiler()}
+	planTrain.Hooks = &predictor.TrainHooks{Metrics: p.Obs.Registry(), Profiler: p.Obs.Profiler(), Flight: p.Obs.Recorder()}
 	for _, kind := range []planner.PredictorKind{planner.KindGCN, planner.KindGAT, planner.KindTransformer} {
 		meter := &planner.Meter{}
 		latFn := planner.TrainPredictorProvider(mdl, platform, planner.PredictorOptions{
@@ -82,6 +82,7 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 			GCN:         p.GCN,
 			GAT:         p.GAT,
 			Seed:        p.Seed,
+			Acc:         p.Obs.Accuracy(),
 		}, prof, meter)
 		specs = append(specs, runSpec{kind.String(), latFn, meter})
 	}

@@ -12,6 +12,7 @@ import (
 	"predtop/internal/cluster"
 	"predtop/internal/graphnn"
 	"predtop/internal/models"
+	"predtop/internal/obs"
 	"predtop/internal/parallel"
 	"predtop/internal/predictor"
 	"predtop/internal/sim"
@@ -118,11 +119,16 @@ func RunMRETable(p Preset, bench Benchmark, platform cluster.Platform, log io.Wr
 		splitRng := rand.New(rand.NewSource(p.Seed*1000 + int64(c.fi*100+c.si)))
 		train, val, test := stage.Split(splitRng, len(ds.Samples), float64(p.Fractions[c.fi])/100, p.ValFrac)
 		cfg := trainConfig(p.Train, p.Workers)
-		cfg.Hooks = &predictor.TrainHooks{Metrics: reg, Profiler: p.Obs.Profiler()}
+		cfg.Hooks = &predictor.TrainHooks{Metrics: reg, Profiler: p.Obs.Profiler(), Flight: p.Obs.Recorder()}
 		cfg.Seed = p.Seed + int64(c.fi*1000+c.si*10+c.mi)
 		model := p.newModel(ModelNames[c.mi], cfg.Seed)
 		trained, res := predictor.Train(model, ds, train, val, cfg)
-		mre := trained.MRE(ds, test)
+		sc := scenarios[c.si]
+		mre := trained.MREWith(ds, test, p.Obs.Accuracy(), obs.AccuracyKey{
+			Family: ModelNames[c.mi],
+			Mesh:   fmt.Sprintf("%dx%d", sc.Mesh.Nodes, sc.Mesh.GPUsPerNode),
+			Op:     bench.Name,
+		})
 		t.MRE[c.fi][c.si][c.mi] = mre
 		wall := time.Since(cellStart).Seconds()
 		cellHist.Observe(wall)

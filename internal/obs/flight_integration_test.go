@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"predtop/internal/parallel"
+)
+
+// TestWorkerPanicDumpsFlightRecorder is the end-to-end post-mortem path the
+// cmd tools wire up: a panic inside a parallel worker triggers the installed
+// PanicHook, which dumps the flight recorder's correlated event window plus
+// goroutine stacks as JSONL before the panic surfaces on the caller. Runs in
+// -short mode so `make ci`'s race pass always covers it.
+func TestWorkerPanicDumpsFlightRecorder(t *testing.T) {
+	fr := NewFlightRecorder(128)
+	tc := NewTraceContext(3, "panic-test")
+	fr.SetTraceContext(tc)
+	var dump bytes.Buffer
+	parallel.SetPanicHook(fr.PanicHook(&dump))
+	defer parallel.SetPanicHook(nil)
+
+	// Seed the ring with a realistic pre-crash history.
+	for i := 0; i < 80; i++ {
+		fr.Note("train", "batch")
+	}
+
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("injected panic did not surface")
+			}
+			wp, ok := r.(*parallel.WorkerPanic)
+			if !ok {
+				t.Fatalf("panic value %T, want *parallel.WorkerPanic", r)
+			}
+			if wp.Value != "injected worker crash" {
+				t.Fatalf("original panic value lost: %v", wp.Value)
+			}
+		}()
+		parallel.ForLimit(32, 4, func(i int) {
+			if i == 5 {
+				panic("injected worker crash")
+			}
+		})
+	}()
+
+	header, events, stacks := decodeFlightDump(t, dump.Bytes())
+	if header["trace_id"] != tc.TraceID() {
+		t.Fatalf("dump not correlated to the run: %v", header["trace_id"])
+	}
+	if len(events) < 64 {
+		t.Fatalf("post-mortem window %d events, want >= 64", len(events))
+	}
+	// The panic itself is the newest breadcrumb in the ring.
+	last := events[len(events)-1]
+	if last["kind"] != "panic" || !strings.Contains(last["msg"].(string), "injected worker crash") {
+		t.Fatalf("panic breadcrumb missing: %v", last)
+	}
+	if !strings.Contains(stacks["stacks"].(string), "goroutine") {
+		t.Fatal("dump missing goroutine stacks")
+	}
+}

@@ -24,16 +24,27 @@ func (r *Registry) WriteProm(w io.Writer) error {
 // preserved, so two renders of the same snapshot are byte-identical.
 func WritePromSnapshot(w io.Writer, snap []Metric) error {
 	var b strings.Builder
+	lastTyped := "" // base name whose TYPE header was last written
 	for _, m := range snap {
 		name := SanitizeMetricName(m.Name)
 		switch m.Kind {
 		case "counter", "gauge":
-			b.WriteString("# TYPE ")
+			// Labeled series of one metric share a single TYPE header; the
+			// snapshot is sorted by name so they are adjacent.
+			if name != lastTyped {
+				b.WriteString("# TYPE ")
+				b.WriteString(name)
+				b.WriteByte(' ')
+				b.WriteString(m.Kind)
+				b.WriteByte('\n')
+				lastTyped = name
+			}
 			b.WriteString(name)
-			b.WriteByte(' ')
-			b.WriteString(m.Kind)
-			b.WriteByte('\n')
-			b.WriteString(name)
+			if m.Labels != "" {
+				b.WriteByte('{')
+				b.WriteString(m.Labels)
+				b.WriteByte('}')
+			}
 			b.WriteByte(' ')
 			b.WriteString(formatPromValue(m.Value))
 			b.WriteByte('\n')
@@ -41,6 +52,7 @@ func WritePromSnapshot(w io.Writer, snap []Metric) error {
 			b.WriteString("# TYPE ")
 			b.WriteString(name)
 			b.WriteString(" histogram\n")
+			lastTyped = name
 			cum := int64(0)
 			for _, bk := range m.Buckets {
 				cum += bk.Count

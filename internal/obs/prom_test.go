@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -106,6 +107,94 @@ func TestWritePromNilRegistry(t *testing.T) {
 	}
 }
 
+// TestWritePromHistogramEdgeCases pins the exposition invariants scrapers
+// rely on: every histogram ends in a le="+Inf" bucket equal to _count, and
+// cumulative bucket counts never decrease — including empty histograms and
+// all-overflow populations.
+func TestWritePromHistogramEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty", []float64{1, 2}) // registered, never observed
+	over := r.Histogram("overflow", []float64{1, 2})
+	over.Observe(100) // all samples beyond the last bound
+	over.Observe(200)
+	mid := r.Histogram("mid", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 3, 3, 7, 50} {
+		mid.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`empty_bucket{le="+Inf"} 0`, "empty_count 0", "empty_sum 0",
+		`overflow_bucket{le="+Inf"} 2`, "overflow_count 2",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Every histogram's bucket series must be monotone non-decreasing and end
+	// with +Inf == _count.
+	checkMonotone := func(name string, count int64) {
+		prev := int64(-1)
+		sawInf := false
+		for _, line := range strings.Split(out, "\n") {
+			if !strings.HasPrefix(line, name+"_bucket{le=") {
+				continue
+			}
+			var c int64
+			if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &c); err != nil {
+				t.Fatalf("unparsable bucket line %q: %v", line, err)
+			}
+			if c < prev {
+				t.Fatalf("%s cumulative counts not monotone at %q (prev %d)", name, line, prev)
+			}
+			prev = c
+			if strings.Contains(line, `le="+Inf"`) {
+				sawInf = true
+				if c != count {
+					t.Fatalf("%s +Inf bucket %d != count %d", name, c, count)
+				}
+			}
+		}
+		if !sawInf {
+			t.Fatalf("%s has no +Inf bucket:\n%s", name, out)
+		}
+	}
+	checkMonotone("empty", 0)
+	checkMonotone("overflow", 2)
+	checkMonotone("mid", 5)
+}
+
+// TestWritePromLabeledSeries: labeled counters/gauges render name{labels}
+// sample lines grouped under one TYPE header, with label values escaped.
+func TestWritePromLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.CounterWith("req_total", Label{"family", "tran"}).Add(2)
+	r.CounterWith("req_total", Label{"family", "gcn"}).Add(5)
+	r.CounterWith("req_total").Inc() // unlabeled series of the same name
+	r.GaugeWith("weird", Label{"v", "a\"b\\c\nd"}).Set(1)
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"req_total 1",
+		`req_total{family="gcn"} 5`,
+		`req_total{family="tran"} 2`,
+		`weird{v="a\"b\\c\nd"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# TYPE req_total counter"); got != 1 {
+		t.Fatalf("%d TYPE headers for req_total:\n%s", got, out)
+	}
+}
+
 func TestSanitizeMetricName(t *testing.T) {
 	cases := map[string]string{
 		"train_batches_total": "train_batches_total",
@@ -121,4 +210,45 @@ func TestSanitizeMetricName(t *testing.T) {
 			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
 		}
 	}
+}
+
+// validPromName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzSanitizeMetricName: for any input the output is a valid Prometheus
+// metric name, already-valid names pass through unchanged, and the function
+// is idempotent.
+func FuzzSanitizeMetricName(f *testing.F) {
+	for _, seed := range []string{
+		"", "train_batches_total", "ns:counter", "9lives", "grid cell/MRE%",
+		"a-b-c", "\x00\xff", "üñïçødé", "0", "_", ":", "a b", strings.Repeat("x", 300),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		got := SanitizeMetricName(name)
+		if !validPromName(got) {
+			t.Fatalf("SanitizeMetricName(%q) = %q is not a valid metric name", name, got)
+		}
+		if validPromName(name) && got != name {
+			t.Fatalf("valid name %q rewritten to %q", name, got)
+		}
+		if again := SanitizeMetricName(got); again != got {
+			t.Fatalf("not idempotent: %q -> %q -> %q", name, got, again)
+		}
+	})
 }

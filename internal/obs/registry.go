@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,6 +70,101 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Label is one metric dimension (e.g. {family="PredTOP-Tran"}). Labeled
+// instruments share the base name in the Prometheus exposition; the label
+// block distinguishes the series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// labelSep joins a base name and its rendered label block in the internal
+// instrument key; '\x00' cannot appear in either half.
+const labelSep = "\x00"
+
+// renderLabels produces the canonical inner label block `k="v",k2="v2"`:
+// labels sorted by key, keys sanitized to the Prometheus charset, values
+// escaped per the text exposition format. Empty input renders "".
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(SanitizeMetricName(l.Key))
+		b.WriteString(`="`)
+		for j := 0; j < len(l.Value); j++ {
+			switch c := l.Value[j]; c {
+			case '\\':
+				b.WriteString(`\\`)
+			case '"':
+				b.WriteString(`\"`)
+			case '\n':
+				b.WriteString(`\n`)
+			default:
+				b.WriteByte(c)
+			}
+		}
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// instrKey builds the internal map key for a (name, labels) pair.
+func instrKey(name string, labels []Label) string {
+	inner := renderLabels(labels)
+	if inner == "" {
+		return name
+	}
+	return name + labelSep + inner
+}
+
+// splitInstrKey recovers (name, labels) from an internal key.
+func splitInstrKey(key string) (name, labels string) {
+	if i := strings.IndexByte(key, labelSep[0]); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return key, ""
+}
+
+// CounterWith returns the counter for (name, labels), creating it if needed.
+// Labels are canonicalized (sorted by key, values escaped), so call order
+// does not create duplicate series. A nil registry returns a nil counter.
+func (r *Registry) CounterWith(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.Counter(instrKey(name, labels))
+}
+
+// GaugeWith returns the gauge for (name, labels), creating it if needed (see
+// CounterWith for label canonicalization). A nil registry returns nil.
+func (r *Registry) GaugeWith(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.Gauge(instrKey(name, labels))
+}
+
+// RunInfoMetric is the info-style gauge carrying a run's trace id as a label
+// (value constant 1), the hook that makes a trace id greppable in the
+// Prometheus exposition.
+const RunInfoMetric = "predtop_run_info"
+
+// SetRunInfo publishes the run's trace identity as predtop_run_info
+// {trace_id="…",name="…"} = 1. No-op when the registry or tc is nil.
+func (r *Registry) SetRunInfo(tc *TraceContext) {
+	if r == nil || tc == nil {
+		return
+	}
+	r.GaugeWith(RunInfoMetric, Label{"trace_id", tc.TraceID()}, Label{"name", tc.Name()}).Set(1)
 }
 
 // Gauge returns the named gauge, creating it if needed. A nil registry
@@ -297,7 +393,10 @@ type BucketCount struct {
 // ±Inf anywhere: overflow beyond the last histogram bound is a separate
 // field).
 type Metric struct {
-	Name     string        `json:"name"`
+	Name string `json:"name"`
+	// Labels is the canonical rendered label block (`k="v",k2="v2"`), empty
+	// for unlabeled instruments.
+	Labels   string        `json:"labels,omitempty"`
 	Kind     string        `json:"kind"` // "counter", "gauge", or "histogram"
 	Value    float64       `json:"value,omitempty"`
 	Count    int64         `json:"count,omitempty"`
@@ -316,11 +415,13 @@ func (r *Registry) Snapshot() []Metric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
-	for name, c := range r.counters {
-		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(c.Value())})
+	for key, c := range r.counters {
+		name, labels := splitInstrKey(key)
+		out = append(out, Metric{Name: name, Labels: labels, Kind: "counter", Value: float64(c.Value())})
 	}
-	for name, g := range r.gauges {
-		out = append(out, Metric{Name: name, Kind: "gauge", Value: g.Value()})
+	for key, g := range r.gauges {
+		name, labels := splitInstrKey(key)
+		out = append(out, Metric{Name: name, Labels: labels, Kind: "gauge", Value: g.Value()})
 	}
 	for name, h := range r.histograms {
 		m := Metric{Name: name, Kind: "histogram", Count: h.Count(), Sum: h.Sum()}
@@ -332,6 +433,11 @@ func (r *Registry) Snapshot() []Metric {
 		m.Overflow = h.counts[len(h.bounds)].Load()
 		out = append(out, m)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
 	return out
 }

@@ -17,6 +17,9 @@ type ServerConfig struct {
 	// Registry backs GET /metrics. A nil registry serves an empty (but
 	// valid) exposition.
 	Registry *Registry
+	// Flight backs GET /debug/flightrecorder: the recorder's current window
+	// (plus goroutine stacks) streamed as JSONL. Nil serves 404.
+	Flight *FlightRecorder
 	// ShutdownTimeout bounds the graceful-shutdown drain once the context is
 	// cancelled or Close is called (default 5s); connections still open after
 	// the deadline are dropped.
@@ -59,6 +62,14 @@ func StartServer(ctx context.Context, cfg ServerConfig) (*Server, error) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Flight == nil {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		cfg.Flight.Dump(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -58,6 +58,48 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// TestServerFlightRecorderEndpoint: GET /debug/flightrecorder returns the
+// correlated post-mortem window as JSONL; without a recorder the route 404s.
+func TestServerFlightRecorderEndpoint(t *testing.T) {
+	f := NewFlightRecorder(32)
+	tc := NewTraceContext(5, "srv")
+	f.SetTraceContext(tc)
+	for i := 0; i < 10; i++ {
+		f.Note("step", "work")
+	}
+	s, err := StartServer(context.Background(), ServerConfig{
+		Addr: "127.0.0.1:0", Registry: NewRegistry(), Flight: f,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body := get(t, s.URL()+"/debug/flightrecorder")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flightrecorder status %d", code)
+	}
+	for _, want := range []string{
+		`"event":"flight_dump"`,
+		`"trace_id":"` + tc.TraceID() + `"`,
+		`"event":"flight_event"`,
+		`"event":"flight_stacks"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/debug/flightrecorder missing %s:\n%s", want, body)
+		}
+	}
+
+	noFlight, err := StartServer(context.Background(), ServerConfig{Addr: "127.0.0.1:0", Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer noFlight.Close()
+	if code, _ := get(t, noFlight.URL()+"/debug/flightrecorder"); code != http.StatusNotFound {
+		t.Fatalf("recorder-less /debug/flightrecorder status %d, want 404", code)
+	}
+}
+
 // TestServerScrapeDuringUpdates: /metrics must serve consistently while the
 // registry is being hammered (run under -race).
 func TestServerScrapeDuringUpdates(t *testing.T) {

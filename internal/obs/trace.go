@@ -19,11 +19,12 @@ import (
 //
 // All methods are safe for concurrent use and no-ops on a nil builder.
 type TraceBuilder struct {
-	mu     sync.Mutex
-	epoch  time.Time
-	tracks map[string]int
-	order  []string
-	events []traceEvent
+	mu      sync.Mutex
+	epoch   time.Time
+	traceID string
+	tracks  map[string]int
+	order   []string
+	events  []traceEvent
 }
 
 // traceEvent is one Chrome-tracing event; struct (not map) encoding keeps the
@@ -39,7 +40,8 @@ type traceEvent struct {
 }
 
 type traceArgs struct {
-	Name string `json:"name"`
+	Name    string `json:"name"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 const tracePID = 1
@@ -48,6 +50,18 @@ const tracePID = 1
 // spans) is the moment of creation.
 func NewTrace() *TraceBuilder {
 	return &TraceBuilder{epoch: time.Now(), tracks: map[string]int{}}
+}
+
+// SetTraceID stamps the run's trace id onto the trace: Render carries it in
+// the process_name metadata event's args, so grepping a trace file for the id
+// finds the run. No-op on nil.
+func (t *TraceBuilder) SetTraceID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.traceID = id
+	t.mu.Unlock()
 }
 
 // tid returns the track's thread id, registering it on first use. Caller
@@ -141,7 +155,7 @@ func (t *TraceBuilder) Render(w io.Writer) error {
 	events := make([]traceEvent, 0, len(t.order)+len(t.events)+1)
 	events = append(events, traceEvent{
 		Name: "process_name", Phase: "M", PID: tracePID,
-		Args: &traceArgs{Name: "predtop"},
+		Args: &traceArgs{Name: "predtop", TraceID: t.traceID},
 	})
 	for _, track := range t.order {
 		events = append(events, traceEvent{
@@ -196,6 +210,9 @@ type Observer struct {
 	Events  *Sink
 	Trace   *TraceBuilder
 	Prof    *Profiler
+	Acc     *AccuracyMonitor
+	Flight  *FlightRecorder
+	Ctx     *TraceContext
 }
 
 // Registry returns the metrics registry (nil when absent).
@@ -228,4 +245,28 @@ func (o *Observer) Profiler() *Profiler {
 		return nil
 	}
 	return o.Prof
+}
+
+// Accuracy returns the accuracy monitor (nil when absent).
+func (o *Observer) Accuracy() *AccuracyMonitor {
+	if o == nil {
+		return nil
+	}
+	return o.Acc
+}
+
+// Recorder returns the flight recorder (nil when absent).
+func (o *Observer) Recorder() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
+}
+
+// TraceContext returns the run's trace context (nil when absent).
+func (o *Observer) TraceContext() *TraceContext {
+	if o == nil {
+		return nil
+	}
+	return o.Ctx
 }

@@ -1,6 +1,7 @@
 package planner
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"predtop/internal/cluster"
 	"predtop/internal/graphnn"
 	"predtop/internal/models"
+	"predtop/internal/obs"
 	"predtop/internal/predictor"
 	"predtop/internal/sim"
 	"predtop/internal/stage"
@@ -148,6 +150,11 @@ type PredictorOptions struct {
 	GCN         graphnn.GCNConfig
 	GAT         graphnn.GATConfig
 	Seed        int64
+	// Acc, when non-nil, receives every per-scenario validation residual
+	// (predicted vs. noisy-profiled latency) keyed by predictor family and
+	// mesh shape, so planner-side prediction quality is monitored online.
+	// Observation only: estimates and plans are unchanged by it.
+	Acc *obs.AccuracyMonitor
 }
 
 // TrainPredictorProvider implements PredTOP's workflow (§VI): profile a
@@ -190,6 +197,16 @@ func TrainPredictorProvider(mdl *models.Model, p cluster.Platform, opt Predictor
 		meter.TrainSeconds += float64(res.EpochsRun*len(trainIdx)) * simTrainStepSeconds
 		meter.RealSeconds += res.WallSeconds
 		trained[scKey{sc.Mesh.Index, sc.Config.Index}] = tr
+		if opt.Acc != nil {
+			key := obs.AccuracyKey{
+				Family: opt.Kind.String(),
+				Mesh:   fmt.Sprintf("%dx%d", sc.Mesh.Nodes, sc.Mesh.GPUsPerNode),
+			}
+			for _, i := range valIdx {
+				s := &ds.Samples[i]
+				opt.Acc.Observe(key, tr.PredictGraph(s), s.Measured)
+			}
+		}
 	}
 
 	type pairKey struct{ lo, hi, mesh int }

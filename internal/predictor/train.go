@@ -3,6 +3,7 @@ package predictor
 import (
 	"math"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -95,6 +96,11 @@ type TrainHooks struct {
 	// only observe — trained weights stay bitwise identical with profiling
 	// on or off.
 	Profiler *obs.Profiler
+	// Flight, when non-nil, receives breadcrumbs (one static note per batch,
+	// one per epoch) into the crash ring buffer, so a worker panic dump shows
+	// where training was. A nil recorder is a zero-allocation no-op, and
+	// notes only observe — determinism is untouched.
+	Flight *obs.FlightRecorder
 }
 
 func (c TrainConfig) withDefaults() TrainConfig {
@@ -234,6 +240,10 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 	epochTimer := reg.Histogram("train_epoch_seconds", nil)
 	batchCtr := reg.Counter("train_batches_total")
 	sampleCtr := reg.Counter("train_samples_total")
+	var flight *obs.FlightRecorder
+	if hooks != nil {
+		flight = hooks.Flight
+	}
 
 	useVal := len(valIdx) > 0
 	best := math.Inf(1)
@@ -289,6 +299,7 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 			bt.Stop()
 			batchCtr.Inc()
 			sampleCtr.Add(int64(len(batch)))
+			flight.Note("train", "batch")
 			// Observation only: per-sample losses fold through the same
 			// fixed-shape tree as the gradients and accumulate serially in
 			// batch order, so History is as deterministic as the weights.
@@ -322,6 +333,9 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 		stats.WallSeconds = time.Since(start).Seconds()
 		res.History = append(res.History, stats)
 		et.Stop()
+		if flight.Enabled() { // guard: the message is formatted only when live
+			flight.Note("train", "epoch "+strconv.Itoa(epoch+1)+" done")
+		}
 		if hooks != nil && hooks.OnEpoch != nil {
 			hooks.OnEpoch(stats)
 		}
@@ -329,6 +343,7 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 			if hooks != nil && hooks.OnEarlyStop != nil {
 				hooks.OnEarlyStop(epoch + 1)
 			}
+			flight.Note("train", "early stop")
 			break
 		}
 	}
@@ -377,13 +392,37 @@ func (t Trained) PredictGraph(s *Sample) float64 {
 // Samples are evaluated in parallel; the error sum uses a fixed-order tree
 // reduction, so the result does not depend on GOMAXPROCS.
 func (t Trained) MRE(ds *Dataset, idx []int) float64 {
+	return t.MREWith(ds, idx, nil, obs.AccuracyKey{})
+}
+
+// MREWith is MRE that additionally streams every predicted-vs-measured pair
+// into an accuracy monitor under the given key. Predictions run in parallel,
+// but the monitor is fed serially in index order — and the returned MRE folds
+// through the same fixed-shape tree as MRE — so results are bitwise identical
+// to MRE with or without a monitor attached (a nil monitor skips the feed).
+func (t Trained) MREWith(ds *Dataset, idx []int, mon *obs.AccuracyMonitor, key obs.AccuracyKey) float64 {
 	if len(idx) == 0 {
 		return 0
 	}
-	total := parallel.MapReduce(len(idx), 0, func(k int) float64 {
+	errs := make([]float64, len(idx))
+	var preds []float64
+	if mon != nil {
+		preds = make([]float64, len(idx))
+	}
+	parallel.ForLimit(len(idx), 0, func(k int) {
 		s := &ds.Samples[idx[k]]
-		return math.Abs(t.PredictGraph(s)-s.Measured) / s.Measured
-	}, func(a, b float64) float64 { return a + b })
+		pred := t.PredictGraph(s)
+		errs[k] = math.Abs(pred-s.Measured) / s.Measured
+		if preds != nil {
+			preds[k] = pred
+		}
+	})
+	if mon != nil {
+		for k := range preds {
+			mon.Observe(key, preds[k], ds.Samples[idx[k]].Measured)
+		}
+	}
+	total := parallel.TreeReduce(errs, func(a, b float64) float64 { return a + b })
 	return total / float64(len(idx)) * 100
 }
 

@@ -2,6 +2,7 @@ package predictor
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"strings"
@@ -52,14 +53,22 @@ func TestParallelTrainingBitwiseDeterministic(t *testing.T) {
 				}
 				if hooked {
 					// The hooked case carries the full observation surface
-					// — metrics AND span profiling (per-layer forward/
-					// backward attribution) — so the table proves profiled
-					// runs are bitwise identical too.
+					// — metrics, span profiling (per-layer forward/backward
+					// attribution), a live flight recorder, and a traced
+					// JSONL sink fed from OnEpoch — so the table proves
+					// traced and recorded runs are bitwise identical too.
+					tc := obs.NewTraceContext(13, "determinism-table")
+					fr := obs.NewFlightRecorder(64)
+					fr.SetTraceContext(tc)
+					sink := obs.NewSink(io.Discard)
+					sink.SetTraceContext(tc)
+					sink.AttachFlight(fr)
 					cfg.Hooks = &TrainHooks{
-						OnEpoch:   func(EpochStats) {},
+						OnEpoch:   func(e EpochStats) { sink.Emit(e) },
 						OnRestore: func(int, float64) {},
 						Metrics:   obs.NewRegistry(),
 						Profiler:  obs.NewProfiler(),
+						Flight:    fr,
 					}
 				}
 				return Train(buildArch(arch, 42), ds, trainIdx, valIdx, cfg)
@@ -211,8 +220,10 @@ func TestTrainEarlyStopHook(t *testing.T) {
 
 // TestNilRegistryHotPathZeroAlloc guards the obs no-op contract where it
 // matters: the exact instruments the minibatch hot path uses — metrics from
-// a disabled (nil) registry AND the phase/sample spans from a disabled (nil)
-// profiler — must add zero allocations per batch.
+// a disabled (nil) registry, the phase/sample spans from a disabled (nil)
+// profiler, breadcrumbs into a disabled (nil) flight recorder, and residuals
+// into a disabled (nil) accuracy monitor — must add zero allocations per
+// batch.
 func TestNilRegistryHotPathZeroAlloc(t *testing.T) {
 	var reg *obs.Registry
 	batchTimer := reg.Histogram("train_batch_seconds", nil)
@@ -220,6 +231,9 @@ func TestNilRegistryHotPathZeroAlloc(t *testing.T) {
 	sampleCtr := reg.Counter("train_samples_total")
 	var prof *obs.Profiler
 	trainSpan := prof.Start("train")
+	var flight *obs.FlightRecorder
+	var acc *obs.AccuracyMonitor
+	accKey := obs.AccuracyKey{Family: "Tran", Mesh: "2x8", Op: "GPT3"}
 	allocs := testing.AllocsPerRun(500, func() {
 		bt := batchTimer.Start()
 		bs := trainSpan.Start("batch")
@@ -231,9 +245,49 @@ func TestNilRegistryHotPathZeroAlloc(t *testing.T) {
 		bt.Stop()
 		batchCtr.Inc()
 		sampleCtr.Add(32)
+		flight.Note("train", "batch")
+		if flight.Enabled() {
+			t.Error("nil recorder reports enabled")
+		}
+		acc.Observe(accKey, 1.1, 1.0)
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled instrumentation allocated %.1f per batch", allocs)
+	}
+}
+
+// TestMREWithMonitorMatchesMRE: feeding an accuracy monitor must not change
+// the MRE by a single bit (the fold shape is identical with and without the
+// monitor), and the monitor's streaming per-family mean must agree with the
+// offline figure to within floating-point summation-order tolerance.
+func TestMREWithMonitorMatchesMRE(t *testing.T) {
+	_, ds := smallDataset(t, 12)
+	var trainIdx, testIdx []int
+	for i := range ds.Samples {
+		if i%3 == 2 {
+			testIdx = append(testIdx, i)
+		} else {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	trained, _ := Train(buildArch("GCN", 7), ds, trainIdx, testIdx, TrainConfig{
+		Epochs: 2, Patience: 2, BatchSize: 5, Seed: 3,
+	})
+	plain := trained.MRE(ds, testIdx)
+	mon := obs.NewAccuracyMonitor(obs.AccuracyConfig{MinSamples: 1})
+	key := obs.AccuracyKey{Family: "GCN", Mesh: "2x8", Op: "test"}
+	monitored := trained.MREWith(ds, testIdx, mon, key)
+	if math.Float64bits(plain) != math.Float64bits(monitored) {
+		t.Fatalf("monitor changed the MRE: %x != %x", math.Float64bits(plain), math.Float64bits(monitored))
+	}
+	st, ok := mon.Stats(key)
+	if !ok || st.N != int64(len(testIdx)) {
+		t.Fatalf("monitor saw %d residuals, want %d", st.N, len(testIdx))
+	}
+	// The streaming Welford mean and the tree-reduced offline mean sum in
+	// different orders; they agree to numerical noise, not bitwise.
+	if math.Abs(st.MeanPct-plain) > 1e-9*(1+math.Abs(plain)) {
+		t.Fatalf("monitor mean %.12f, offline MRE %.12f", st.MeanPct, plain)
 	}
 }
 

@@ -51,6 +51,7 @@ import (
 	"predtop/internal/graphnn"
 	"predtop/internal/models"
 	"predtop/internal/obs"
+	"predtop/internal/parallel"
 	"predtop/internal/pipeline"
 	"predtop/internal/planner"
 	"predtop/internal/predictor"
@@ -289,6 +290,30 @@ type (
 	// RuntimeSampler periodically snapshots Go runtime health (goroutines,
 	// heap, GC) into a MetricsRegistry for live scrapes.
 	RuntimeSampler = obs.RuntimeSampler
+	// TraceContext is a run's deterministic correlation identity: trace and
+	// span ids derived from the run seed (never wall clock or rand), attached
+	// to the sink, registry, trace builder, and flight recorder so one grep
+	// joins every telemetry channel of a run.
+	TraceContext = obs.TraceContext
+	// FlightRecorder keeps the last N telemetry events in a fixed-size ring
+	// and dumps them (plus goroutine stacks) as JSONL on panic, SIGQUIT, or
+	// GET /debug/flightrecorder.
+	FlightRecorder = obs.FlightRecorder
+	// AccuracyMonitor streams predicted-vs-actual residuals per (family,
+	// mesh, op) key: Welford MRE, quantile-sketch P50/P95, max, and drift
+	// detection exported through metrics and JSONL.
+	AccuracyMonitor = obs.AccuracyMonitor
+	// AccuracyConfig configures an AccuracyMonitor.
+	AccuracyConfig = obs.AccuracyConfig
+	// AccuracyKey identifies one residual population (family, mesh, op).
+	AccuracyKey = obs.AccuracyKey
+	// AccuracyStats is a point-in-time read of one accuracy group.
+	AccuracyStats = obs.AccuracyStats
+	// MetricLabel is one metric dimension for labeled counters and gauges.
+	MetricLabel = obs.Label
+	// WorkerPanic wraps a panic recovered in a parallel worker goroutine,
+	// re-raised on the calling goroutine with the worker's original stack.
+	WorkerPanic = parallel.WorkerPanic
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -307,6 +332,32 @@ func NewProgressLogger(w io.Writer, quiet bool) *ProgressLogger { return obs.New
 // NewSpanProfiler returns an empty span profiler. A nil *SpanProfiler is a
 // valid inert handle: Start returns a zero ProfileSpan and nothing is timed.
 func NewSpanProfiler() *SpanProfiler { return obs.NewProfiler() }
+
+// NewTraceContext returns the root trace context for a run: ids derive from
+// (seed, name) alone, so the same seed reproduces the same trace id.
+func NewTraceContext(seed int64, name string) *TraceContext {
+	return obs.NewTraceContext(seed, name)
+}
+
+// WithTraceContext returns a context carrying tc (see TraceContextFrom).
+func WithTraceContext(ctx context.Context, tc *TraceContext) context.Context {
+	return obs.WithTraceContext(ctx, tc)
+}
+
+// TraceContextFrom extracts the TraceContext from ctx (nil when absent).
+func TraceContextFrom(ctx context.Context) *TraceContext { return obs.TraceContextFrom(ctx) }
+
+// NewFlightRecorder returns a flight recorder keeping the last capacity
+// events (capacity <= 0 selects the 256-event default).
+func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewFlightRecorder(capacity) }
+
+// NewAccuracyMonitor returns an online prediction-accuracy monitor.
+func NewAccuracyMonitor(cfg AccuracyConfig) *AccuracyMonitor { return obs.NewAccuracyMonitor(cfg) }
+
+// SetWorkerPanicHook installs a process-wide hook observing the first panic
+// recovered in any parallel worker loop before it is re-raised on the caller
+// (typically FlightRecorder.PanicHook). Nil removes it.
+func SetWorkerPanicHook(fn func(recovered any, stack []byte)) { parallel.SetPanicHook(fn) }
 
 // StartMetricsServer binds cfg.Addr and serves /metrics, /healthz, and
 // /debug/pprof/ until ctx is cancelled or Close is called. Use Addr ":0" to
