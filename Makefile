@@ -2,9 +2,9 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race bench bench-compare
+.PHONY: ci fmt vet build test race bench bench-compare serve-smoke
 
-ci: fmt vet build test race
+ci: fmt vet build test race serve-smoke
 
 # gofmt must be a no-op on the whole tree; offenders are listed so the gate
 # fails with the file names.
@@ -31,6 +31,12 @@ test:
 # but drops the slow grid regenerations.
 race:
 	$(GO) test -race -short ./internal/...
+
+# serve-smoke boots the serving stack for real: build the daemon and load
+# driver, train a throwaway model, serve it on an ephemeral port, answer one
+# query, and shut down cleanly. Nonzero exit on any failure.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve-smoke.sh
 
 # Paper-artifact benchmarks at the quick preset; one iteration each.
 # `make bench` also archives the run as a timestamped BENCH_<date>.json

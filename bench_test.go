@@ -7,11 +7,13 @@ package predtop
 // come from the "paper" preset via the cmd/ tools.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"predtop/internal/cluster"
 	"predtop/internal/experiments"
@@ -262,5 +264,64 @@ func BenchmarkAblation(b *testing.B) {
 				b.ReportMetric(r.MRE, "full-MRE-%")
 			}
 		}
+	}
+}
+
+// BenchmarkServeReplay measures the serving daemon end to end: a tiny
+// predictor is trained and saved, predtop-serve's Start brings it up on an
+// ephemeral port, and a 100k-query synthetic replay hammers /predict from 32
+// concurrent clients. Reported metrics are the serving SLOs: throughput,
+// client-side P50/P95, the LRU hit rate, and the mean coalesced batch size
+// (> 1 means batched forwards actually happened).
+func BenchmarkServeReplay(b *testing.B) {
+	dir := b.TempDir()
+	cfg := GPT3Config()
+	cfg.Layers = 4
+	m := BuildModel(cfg)
+	rng := rand.New(rand.NewSource(1))
+	specs := SampleStages(m, rng, 10, 3)
+	enc := NewEncoder(m, true)
+	ds := BuildDataset(enc, specs, Scenarios(Platform1())[0], DefaultProfiler())
+	var trainIdx, valIdx []int
+	for i := range ds.Samples {
+		if i%4 == 3 {
+			valIdx = append(valIdx, i)
+		} else {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	net := NewDAGTransformer(rng, TransformerConfig{Layers: 1, Dim: 16, Heads: 2, FFNDim: 32})
+	trained, _ := Train(net, ds, trainIdx, valIdx, TrainConfig{Epochs: 2, Patience: 2, BatchSize: 4, Seed: 1})
+	if err := SaveTrained(dir+"/tran.predtop", trained); err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, err := StartServe(ctx, ServeConfig{
+		ModelDir: dir, Window: 2 * time.Millisecond, Metrics: NewMetricsRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ServeReplay(ServeReplayConfig{
+			URL: srv.URL(), Queries: 100000, Concurrency: 32,
+			Seed: int64(i + 1), Layers: 4, MaxLen: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Errors > 0 {
+			b.Fatalf("%d of %d replay queries failed", res.Errors, res.Queries)
+		}
+		b.ReportMetric(res.QPS, "qps")
+		b.ReportMetric(res.P50ms, "p50-ms")
+		b.ReportMetric(res.P95ms, "p95-ms")
+		b.ReportMetric(res.CacheHitRate*100, "lru-hit-%")
+		b.ReportMetric(res.MeanBatch, "mean-batch")
+		b.ReportMetric(res.MaxBatch, "max-batch")
 	}
 }

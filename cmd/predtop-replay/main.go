@@ -1,0 +1,95 @@
+// Command predtop-replay drives a synthetic query load against a running
+// predtop-serve daemon and reports client-side throughput and latency
+// percentiles next to the daemon's own batching and cache counters (scraped
+// from /metrics after the run).
+//
+// Usage:
+//
+//	predtop-replay -url http://127.0.0.1:9400 \
+//	               [-n 100000] [-c 32] [-bench GPT-3,MoE] [-layers 8] \
+//	               [-maxlen 3] [-model key] [-gtfrac 0.1] [-seed 1] \
+//	               [-json result.json] [-smoke]
+//
+// -smoke issues a single query and exits 0 only when it was answered — the
+// one-shot liveness probe used by `make serve-smoke`. Without it, the full
+// replay prints a human summary and (with -json) writes the ReplayResult for
+// archiving next to the BENCH_*.json files.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"predtop"
+)
+
+func main() {
+	url := flag.String("url", "http://127.0.0.1:9400", "base URL of a running predtop-serve daemon")
+	queries := flag.Int("n", 100000, "total /predict queries")
+	conc := flag.Int("c", 32, "concurrent clients")
+	benches := flag.String("bench", "GPT-3", "comma-separated benchmark rotation (GPT-3, MoE)")
+	layers := flag.Int("layers", 8, "benchmark depth override for every query (0 = Table IV)")
+	maxLen := flag.Int("maxlen", 3, "max stage length in segments")
+	model := flag.String("model", "", "registry key to query (empty = daemon's sole model)")
+	gtFrac := flag.Float64("gtfrac", 0, "fraction of queries carrying a synthetic ground_truth")
+	seed := flag.Int64("seed", 1, "query-stream seed")
+	jsonPath := flag.String("json", "", "write the ReplayResult as JSON to this file")
+	smoke := flag.Bool("smoke", false, "one query, exit 0 iff it was answered")
+	flag.Parse()
+
+	if *smoke {
+		res, err := predtop.ServeReplay(predtop.ServeReplayConfig{
+			URL: *url, Queries: 1, Concurrency: 1, Seed: *seed,
+			Benches: splitBenches(*benches), Layers: *layers, MaxLen: *maxLen, Model: *model,
+		})
+		if err != nil {
+			log.Fatalf("smoke query failed: %v", err)
+		}
+		if res.Errors != 0 {
+			log.Fatalf("smoke query answered with an error (%d/%d failed)", res.Errors, res.Queries)
+		}
+		fmt.Printf("smoke ok: 1 query in %.1fms (generation %.0f)\n", res.P50ms, res.Generation)
+		return
+	}
+
+	res, err := predtop.ServeReplay(predtop.ServeReplayConfig{
+		URL: *url, Queries: *queries, Concurrency: *conc, Seed: *seed,
+		Benches: splitBenches(*benches), Layers: *layers, MaxLen: *maxLen,
+		Model: *model, GroundTruthFrac: *gtFrac,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replay: %d queries, %d errors, %.2fs wall, %.0f qps\n",
+		res.Queries, res.Errors, res.WallSeconds, res.QPS)
+	fmt.Printf("latency: p50 %.2fms  p95 %.2fms  p99 %.2fms\n", res.P50ms, res.P95ms, res.P99ms)
+	fmt.Printf("cache:   %d hits / %d misses (hit rate %.1f%%)\n",
+		res.CacheHits, res.CacheMisses, res.CacheHitRate*100)
+	fmt.Printf("batches: %d (mean size %.2f, max %.0f)\n", res.Batches, res.MeanBatch, res.MaxBatch)
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if res.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+func splitBenches(s string) []string {
+	var out []string
+	for _, b := range strings.Split(s, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			out = append(out, b)
+		}
+	}
+	return out
+}

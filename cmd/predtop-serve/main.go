@@ -1,0 +1,113 @@
+// Command predtop-serve is the predictor-as-a-service daemon: it loads every
+// trained model (*.predtop) in a directory, then answers POST /predict
+// queries over HTTP/JSON, coalescing concurrent requests into batched
+// forwards and memoizing repeated stage queries in a bounded LRU.
+//
+// Usage:
+//
+//	predtop-serve -models ./models -listen 127.0.0.1:9400 \
+//	              [-maxbatch 32] [-window 2ms] [-workers 0] [-cachesize 4096] \
+//	              [-metrics serve.jsonl] [-addrfile serve.addr] [-quiet]
+//
+// Endpoints: POST /predict (query a model), GET /models (registry listing),
+// POST /reload (hot-reload the model directory), plus the standard telemetry
+// set — GET /metrics, /healthz, /debug/flightrecorder, /debug/pprof/ — all
+// on the one listener. SIGHUP also triggers a hot reload; SIGINT/SIGTERM
+// shut down gracefully. -addrfile writes the bound address (useful with
+// -listen 127.0.0.1:0) so scripts can find an ephemeral port.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"predtop"
+)
+
+func main() {
+	modelDir := flag.String("models", "models", "directory of *.predtop model files")
+	listen := flag.String("listen", "127.0.0.1:9400", "listen address (host:0 picks a free port)")
+	maxBatch := flag.Int("maxbatch", 32, "max concurrent requests coalesced into one batched forward")
+	window := flag.Duration("window", 0, "how long to wait to fill a batch (0 = batch only queued requests)")
+	workers := flag.Int("workers", 0, "intra-batch parallelism (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cachesize", 4096, "latency memo capacity in entries")
+	seed := flag.Int64("seed", 1, "trace-identity seed")
+	metricsPath := flag.String("metrics", "", "write JSONL request events and a final metrics snapshot to this file")
+	addrFile := flag.String("addrfile", "", "write the bound listen address to this file once serving")
+	quiet := flag.Bool("quiet", false, "suppress progress output")
+	flag.Parse()
+
+	tc := predtop.NewTraceContext(*seed, "predtop-serve")
+	fr := predtop.NewFlightRecorder(0)
+	fr.SetTraceContext(tc)
+	predtop.SetWorkerPanicHook(fr.PanicHook(os.Stderr))
+
+	lg := predtop.NewProgressLogger(os.Stderr, *quiet).WithTrace(tc)
+	reg := predtop.NewMetricsRegistry()
+	var sink *predtop.EventSink
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		sink = predtop.NewEventSink(f)
+		sink.SetTraceContext(tc)
+		sink.AttachFlight(fr)
+		defer func() {
+			sink.EmitMetrics(reg)
+			if err := sink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *metricsPath, err)
+			}
+		}()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv, err := predtop.StartServe(ctx, predtop.ServeConfig{
+		Addr:      *listen,
+		ModelDir:  *modelDir,
+		MaxBatch:  *maxBatch,
+		Window:    *window,
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		Metrics:   reg,
+		Sink:      sink,
+		Flight:    fr,
+		Trace:     tc,
+		Log:       lg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	sampler := predtop.StartRuntimeSampler(reg, 0)
+	defer sampler.Stop()
+
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	lg.Printf("predtop-serve listening on %s (POST %s/predict)", srv.Addr(), srv.URL())
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	for sig := range sigs {
+		if sig == syscall.SIGHUP {
+			if gen, n, err := srv.Reload(); err != nil {
+				fmt.Fprintf(os.Stderr, "reload failed (old models keep serving): %v\n", err)
+			} else {
+				lg.Printf("SIGHUP reload: generation %d, %d model(s)", gen, n)
+			}
+			continue
+		}
+		lg.Printf("%v: shutting down", sig)
+		break
+	}
+}

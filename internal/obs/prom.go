@@ -49,30 +49,51 @@ func WritePromSnapshot(w io.Writer, snap []Metric) error {
 			b.WriteString(formatPromValue(m.Value))
 			b.WriteByte('\n')
 		case "histogram":
-			b.WriteString("# TYPE ")
-			b.WriteString(name)
-			b.WriteString(" histogram\n")
-			lastTyped = name
+			// Labeled series of one histogram share a single TYPE header,
+			// exactly like counters and gauges; the snapshot sort keeps them
+			// adjacent.
+			if name != lastTyped {
+				b.WriteString("# TYPE ")
+				b.WriteString(name)
+				b.WriteString(" histogram\n")
+				lastTyped = name
+			}
+			// bucketLabels is the inner label block each _bucket line carries
+			// before its `le`; _sum and _count carry m.Labels alone.
+			bucketLabels := ""
+			suffix := ""
+			if m.Labels != "" {
+				bucketLabels = m.Labels + ","
+				suffix = "{" + m.Labels + "}"
+			}
 			cum := int64(0)
 			for _, bk := range m.Buckets {
 				cum += bk.Count
 				b.WriteString(name)
-				b.WriteString(`_bucket{le="`)
+				b.WriteString("_bucket{")
+				b.WriteString(bucketLabels)
+				b.WriteString(`le="`)
 				b.WriteString(formatPromValue(bk.LE))
 				b.WriteString(`"} `)
 				b.WriteString(strconv.FormatInt(cum, 10))
 				b.WriteByte('\n')
 			}
 			b.WriteString(name)
-			b.WriteString(`_bucket{le="+Inf"} `)
+			b.WriteString("_bucket{")
+			b.WriteString(bucketLabels)
+			b.WriteString(`le="+Inf"} `)
 			b.WriteString(strconv.FormatInt(m.Count, 10))
 			b.WriteByte('\n')
 			b.WriteString(name)
-			b.WriteString("_sum ")
+			b.WriteString("_sum")
+			b.WriteString(suffix)
+			b.WriteByte(' ')
 			b.WriteString(formatPromValue(m.Sum))
 			b.WriteByte('\n')
 			b.WriteString(name)
-			b.WriteString("_count ")
+			b.WriteString("_count")
+			b.WriteString(suffix)
+			b.WriteByte(' ')
 			b.WriteString(strconv.FormatInt(m.Count, 10))
 			b.WriteByte('\n')
 		}

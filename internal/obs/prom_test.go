@@ -195,6 +195,47 @@ func TestWritePromLabeledSeries(t *testing.T) {
 	}
 }
 
+// TestWritePromLabeledHistogram: labeled histograms render the label block
+// inside every _bucket line (before le) and as a suffix on _sum/_count, with
+// all series of one name sharing a single TYPE header.
+func TestWritePromLabeledHistogram(t *testing.T) {
+	r := NewRegistry()
+	a := r.HistogramWith("req_seconds", []float64{1, 2}, Label{"endpoint", "/predict"})
+	a.Observe(0.5)
+	a.Observe(1.5)
+	a.Observe(9) // overflow
+	r.HistogramWith("req_seconds", []float64{1, 2}, Label{"endpoint", "/reload"}).Observe(0.5)
+	r.Histogram("req_seconds", []float64{1, 2}).Observe(0.5) // unlabeled sibling
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`req_seconds_bucket{le="1"} 1`, // unlabeled series unchanged
+		`req_seconds_bucket{le="+Inf"} 1`,
+		"req_seconds_count 1",
+		`req_seconds_bucket{endpoint="/predict",le="1"} 1`,
+		`req_seconds_bucket{endpoint="/predict",le="2"} 2`,
+		`req_seconds_bucket{endpoint="/predict",le="+Inf"} 3`,
+		`req_seconds_sum{endpoint="/predict"} 11`,
+		`req_seconds_count{endpoint="/predict"} 3`,
+		`req_seconds_bucket{endpoint="/reload",le="+Inf"} 1`,
+		`req_seconds_count{endpoint="/reload"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "# TYPE req_seconds histogram"); got != 1 {
+		t.Fatalf("%d TYPE headers for req_seconds:\n%s", got, out)
+	}
+	// Same (name, labels) → same instrument, regardless of call order.
+	if r.HistogramWith("req_seconds", nil, Label{"endpoint", "/predict"}) != a {
+		t.Fatal("HistogramWith did not dedupe the labeled series")
+	}
+}
+
 func TestSanitizeMetricName(t *testing.T) {
 	cases := map[string]string{
 		"train_batches_total": "train_batches_total",

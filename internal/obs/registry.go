@@ -153,6 +153,18 @@ func (r *Registry) GaugeWith(name string, labels ...Label) *Gauge {
 	return r.Gauge(instrKey(name, labels))
 }
 
+// HistogramWith returns the histogram for (name, labels), creating it with
+// the given bucket bounds if needed (see CounterWith for label
+// canonicalization and Histogram for bound semantics). Labeled series of one
+// name share a TYPE header in the Prometheus exposition, with the label block
+// merged into each _bucket/_sum/_count line. A nil registry returns nil.
+func (r *Registry) HistogramWith(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.Histogram(instrKey(name, labels), bounds)
+}
+
 // RunInfoMetric is the info-style gauge carrying a run's trace id as a label
 // (value constant 1), the hook that makes a trace id greppable in the
 // Prometheus exposition.
@@ -423,8 +435,9 @@ func (r *Registry) Snapshot() []Metric {
 		name, labels := splitInstrKey(key)
 		out = append(out, Metric{Name: name, Labels: labels, Kind: "gauge", Value: g.Value()})
 	}
-	for name, h := range r.histograms {
-		m := Metric{Name: name, Kind: "histogram", Count: h.Count(), Sum: h.Sum()}
+	for key, h := range r.histograms {
+		name, labels := splitInstrKey(key)
+		m := Metric{Name: name, Labels: labels, Kind: "histogram", Count: h.Count(), Sum: h.Sum()}
 		for i, b := range h.bounds {
 			if n := h.counts[i].Load(); n > 0 {
 				m.Buckets = append(m.Buckets, BucketCount{LE: b, Count: n})

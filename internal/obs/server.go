@@ -20,6 +20,12 @@ type ServerConfig struct {
 	// Flight backs GET /debug/flightrecorder: the recorder's current window
 	// (plus goroutine stacks) streamed as JSONL. Nil serves 404.
 	Flight *FlightRecorder
+	// Handlers mounts additional patterns onto the telemetry mux, so a
+	// service (e.g. the predtop-serve daemon) can expose its own endpoints
+	// next to /metrics and /debug/pprof/ on one listener. Patterns that
+	// collide with the built-in telemetry endpoints are ignored — the
+	// telemetry contract always wins.
+	Handlers map[string]http.Handler
 	// ShutdownTimeout bounds the graceful-shutdown drain once the context is
 	// cancelled or Close is called (default 5s); connections still open after
 	// the deadline are dropped.
@@ -76,6 +82,18 @@ func StartServer(ctx context.Context, cfg ServerConfig) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	reserved := map[string]bool{
+		"/metrics": true, "/healthz": true, "/debug/flightrecorder": true,
+		"/debug/pprof/": true, "/debug/pprof/cmdline": true,
+		"/debug/pprof/profile": true, "/debug/pprof/symbol": true,
+		"/debug/pprof/trace": true,
+	}
+	for pattern, h := range cfg.Handlers {
+		if pattern == "" || h == nil || reserved[pattern] {
+			continue
+		}
+		mux.Handle(pattern, h)
+	}
 
 	s := &Server{
 		ln:      ln,

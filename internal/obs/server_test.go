@@ -179,3 +179,36 @@ func TestServerBadAddr(t *testing.T) {
 		t.Fatal("expected empty-addr error")
 	}
 }
+
+// TestServerExtraHandlers: ServerConfig.Handlers mounts service endpoints on
+// the telemetry listener, and reserved telemetry patterns cannot be shadowed.
+func TestServerExtraHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	s, err := StartServer(context.Background(), ServerConfig{
+		Addr:     "127.0.0.1:0",
+		Registry: r,
+		Handlers: map[string]http.Handler{
+			"/predict": http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+				io.WriteString(w, "predicted")
+			}),
+			"/healthz": http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+				io.WriteString(w, "shadowed") // must be ignored: reserved
+			}),
+			"": http.NotFoundHandler(), // empty pattern must be skipped, not panic
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if code, body := get(t, s.URL()+"/predict"); code != http.StatusOK || body != "predicted" {
+		t.Fatalf("/predict: %d %q", code, body)
+	}
+	if _, body := get(t, s.URL()+"/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz was shadowed by an extra handler: %q", body)
+	}
+	if _, body := get(t, s.URL()+"/metrics"); !strings.Contains(body, "c 1") {
+		t.Fatalf("/metrics lost its registry:\n%s", body)
+	}
+}

@@ -8,12 +8,20 @@ import (
 
 	"predtop/internal/cluster"
 	"predtop/internal/graphnn"
+	"predtop/internal/lru"
 	"predtop/internal/models"
 	"predtop/internal/obs"
 	"predtop/internal/predictor"
 	"predtop/internal/sim"
 	"predtop/internal/stage"
 )
+
+// encCacheSize bounds the planner's stage-encoding LRU. Stage universes are
+// O(segments × maxLen), far below this bound for the paper's models, so in
+// practice nothing is evicted — the bound exists so a pathological workload
+// (thousands of layers) degrades to recomputation instead of unbounded
+// memory. Encoding is deterministic, so eviction never changes results.
+const encCacheSize = 4096
 
 // Meter accumulates the optimization-cost components of Fig 10a, all on the
 // simulated platform clock: profiling (compile + transfer + timed runs),
@@ -213,8 +221,9 @@ func TrainPredictorProvider(mdl *models.Model, p cluster.Platform, opt Predictor
 	memo := map[pairKey]float64{}
 	// Stage encodings depend only on the spec, not the mesh or config, so
 	// they are computed once per spec instead of once per (mesh, config)
-	// query inside the configuration loop.
-	encCache := map[stage.Spec]*stage.Encoded{}
+	// query inside the configuration loop. The bounded LRU is the same
+	// implementation the serving daemon memoizes latencies with.
+	encCache := lru.New[stage.Spec, *stage.Encoded](encCacheSize)
 	return func(sp stage.Spec, mesh cluster.Mesh) (float64, bool) {
 		k := pairKey{sp.Lo, sp.Hi, mesh.Index}
 		if t, ok := memo[k]; ok {
@@ -224,11 +233,7 @@ func TrainPredictorProvider(mdl *models.Model, p cluster.Platform, opt Predictor
 		meter.CacheMisses++
 		start := time.Now()
 		g := mdl.StageGraph(sp.Lo, sp.Hi, true)
-		encoded, ok := encCache[sp]
-		if !ok {
-			encoded = enc.Encode(sp)
-			encCache[sp] = encoded
-		}
+		encoded, _ := encCache.GetOrCompute(sp, func() *stage.Encoded { return enc.Encode(sp) })
 		best := math.Inf(1)
 		for _, conf := range cluster.ConfigsFor(mesh) {
 			tr, ok := trained[scKey{mesh.Index, conf.Index}]

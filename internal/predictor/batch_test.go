@@ -1,0 +1,83 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"predtop/internal/graphnn"
+	"predtop/internal/stage"
+)
+
+// trainTiny fits a small transformer on a small dataset, shared across the
+// batch tests.
+func trainTiny(t testing.TB) (Trained, *Dataset) {
+	t.Helper()
+	_, ds := smallDataset(t, 16)
+	net := graphnn.NewDAGTransformer(rand.New(rand.NewSource(3)),
+		graphnn.TransformerConfig{Layers: 1, Dim: 16, Heads: 2, FFNDim: 32})
+	tr, _ := Train(net, ds, []int{0, 1, 2, 3, 4, 5}, []int{6, 7}, TrainConfig{
+		Epochs: 2, Patience: 2, BatchSize: 4, Seed: 1,
+	})
+	return tr, ds
+}
+
+// TestPredictEncodedBatchBitwise: a batched forward must reproduce the
+// per-item PredictEncoded results bit for bit, at every worker count,
+// including duplicate graphs within one batch.
+func TestPredictEncodedBatchBitwise(t *testing.T) {
+	tr, ds := trainTiny(t)
+	es := make([]*stage.Encoded, 0, len(ds.Samples)+2)
+	for i := range ds.Samples {
+		es = append(es, ds.Samples[i].Encoded)
+	}
+	es = append(es, es[0], es[1]) // duplicates must be independent
+
+	want := make([]float64, len(es))
+	for i, e := range es {
+		want[i] = tr.PredictEncoded(e)
+	}
+	for _, workers := range []int{1, 2, 0} {
+		got := tr.PredictEncodedBatch(es, workers)
+		if len(got) != len(es) {
+			t.Fatalf("workers=%d: got %d results for %d graphs", workers, len(got), len(es))
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("workers=%d graph %d: batch %v != direct %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+	if got := tr.PredictEncodedBatch(nil, 0); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+// TestPredictEncodedBatchConcurrent: concurrent batched forwards through the
+// shared context pool must not interfere (run with -race in make ci).
+func TestPredictEncodedBatchConcurrent(t *testing.T) {
+	tr, ds := trainTiny(t)
+	es := make([]*stage.Encoded, len(ds.Samples))
+	want := make([]float64, len(ds.Samples))
+	for i := range ds.Samples {
+		es[i] = ds.Samples[i].Encoded
+		want[i] = tr.PredictEncoded(es[i])
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 10; rep++ {
+				got := tr.PredictEncodedBatch(es, 2)
+				for i := range got {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						panic("concurrent batch diverged from direct prediction")
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -387,6 +387,21 @@ func (t Trained) PredictGraph(s *Sample) float64 {
 	return t.PredictEncoded(s.Encoded)
 }
 
+// PredictEncodedBatch predicts a whole batch of encoded stage graphs in one
+// call, fanning the batch across the pooled prediction contexts (workers
+// bounds the goroutines: 0 = GOMAXPROCS, 1 = serial). This is the batched
+// forward the serving daemon's request coalescer drives. Each out[i] is
+// bitwise identical to PredictEncoded(es[i]) at any worker count — every
+// graph still runs its own forward on a private pooled tape, so batching is
+// pure amortization, never a numerical change.
+func (t Trained) PredictEncodedBatch(es []*stage.Encoded, workers int) []float64 {
+	out := make([]float64, len(es))
+	parallel.ForLimit(len(es), workers, func(k int) {
+		out[k] = t.PredictEncoded(es[k])
+	})
+	return out
+}
+
 // MRE computes the mean relative error (Eqn 5, in percent) of the trained
 // model over the given sample indices, against the profiled ground truth.
 // Samples are evaluated in parallel; the error sum uses a fixed-order tree

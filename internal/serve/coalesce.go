@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"predtop/internal/obs"
+	"predtop/internal/predictor"
+	"predtop/internal/stage"
+)
+
+// Metric names exported by the batch coalescer.
+const (
+	BatchesMetric         = "predtop_serve_batches_total"
+	BatchedRequestsMetric = "predtop_serve_batched_requests_total"
+	BatchSizeMetric       = "predtop_serve_batch_size"
+	BatchMaxMetric        = "predtop_serve_batch_max"
+)
+
+// errCoalescerClosed is returned by submit after close — the server maps it
+// to 503 during shutdown.
+var errCoalescerClosed = errors.New("serve: coalescer closed")
+
+// predictJob is one request's slot in a batch: its resolved predictor, its
+// encoded stage graph, and the channel the runner closes once out is final.
+type predictJob struct {
+	tr   predictor.Trained
+	enc  *stage.Encoded
+	out  float64
+	done chan struct{}
+}
+
+// coalescer folds concurrent predictions into batched forwards. Submitted
+// jobs queue on a channel; the dispatcher takes the first job of a batch,
+// keeps collecting until the batch is full or the coalescing window expires,
+// then fans the whole batch through Trained.PredictEncodedBatch (grouped by
+// predictor, so a mixed-model batch still runs each model's graphs as one
+// batched call). Per-job results are bitwise identical to unbatched
+// PredictEncoded — batching is amortization, never a numerical change.
+type coalescer struct {
+	ch       chan *predictJob
+	maxBatch int
+	window   time.Duration
+	workers  int
+
+	// mu guards closed so submit never sends on a closed channel.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+
+	batches  *obs.Counter
+	requests *obs.Counter
+	sizeHist *obs.Histogram
+	maxGauge *obs.Gauge
+	maxSeen  int // dispatcher-only; mirrors into maxGauge
+}
+
+// batchSizeBuckets: 1, 2, 4, … 128 — batch size 1 lands in the first bucket,
+// so `_bucket{le="1"}` < `_count` is the "batching actually happened" signal.
+var batchSizeBuckets = obs.MustExpBuckets(1, 2, 8)
+
+// newCoalescer builds an idle coalescer; call start to launch the dispatcher.
+// window > 0 waits up to that long to fill a batch after its first job;
+// window == 0 batches only what is already queued (no added latency).
+func newCoalescer(maxBatch int, window time.Duration, workers int, metrics *obs.Registry) *coalescer {
+	if maxBatch < 1 {
+		maxBatch = 32
+	}
+	return &coalescer{
+		ch:       make(chan *predictJob, 4*maxBatch),
+		maxBatch: maxBatch,
+		window:   window,
+		workers:  workers,
+		batches:  metrics.Counter(BatchesMetric),
+		requests: metrics.Counter(BatchedRequestsMetric),
+		sizeHist: metrics.Histogram(BatchSizeMetric, batchSizeBuckets),
+		maxGauge: metrics.Gauge(BatchMaxMetric),
+	}
+}
+
+// start launches the dispatcher goroutine.
+func (c *coalescer) start() {
+	c.wg.Add(1)
+	go c.loop()
+}
+
+// submit enqueues one prediction and blocks until its batch ran.
+func (c *coalescer) submit(tr predictor.Trained, enc *stage.Encoded) (float64, error) {
+	j := &predictJob{tr: tr, enc: enc, done: make(chan struct{})}
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return 0, errCoalescerClosed
+	}
+	c.ch <- j
+	c.mu.RUnlock()
+	<-j.done
+	return j.out, nil
+}
+
+// close stops accepting jobs, drains the queue, and waits for the dispatcher
+// to exit. Safe to call once the HTTP listener no longer produces submits.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.ch)
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// loop is the dispatcher: one batch per iteration.
+func (c *coalescer) loop() {
+	defer c.wg.Done()
+	batch := make([]*predictJob, 0, c.maxBatch)
+	for {
+		j, ok := <-c.ch
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], j)
+		if c.window > 0 {
+			timer := time.NewTimer(c.window)
+		fill:
+			for len(batch) < c.maxBatch {
+				select {
+				case j2, ok := <-c.ch:
+					if !ok {
+						break fill // closed mid-window: run what we have
+					}
+					batch = append(batch, j2)
+				case <-timer.C:
+					break fill
+				}
+			}
+			timer.Stop()
+		} else {
+		drain:
+			for len(batch) < c.maxBatch {
+				select {
+				case j2, ok := <-c.ch:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, j2)
+				default:
+					break drain
+				}
+			}
+		}
+		c.run(batch)
+	}
+}
+
+// run executes one batch: jobs grouped by predictor, one batched forward per
+// group, results delivered by closing each job's done channel.
+func (c *coalescer) run(batch []*predictJob) {
+	type group struct {
+		idx  []int
+		encs []*stage.Encoded
+	}
+	groups := map[predictor.Trained]*group{}
+	for i, j := range batch {
+		g := groups[j.tr]
+		if g == nil {
+			g = &group{}
+			groups[j.tr] = g
+		}
+		g.idx = append(g.idx, i)
+		g.encs = append(g.encs, j.enc)
+	}
+	for tr, g := range groups {
+		outs := tr.PredictEncodedBatch(g.encs, c.workers)
+		for k, i := range g.idx {
+			batch[i].out = outs[k]
+		}
+	}
+	for _, j := range batch {
+		close(j.done)
+	}
+	c.batches.Inc()
+	c.requests.Add(int64(len(batch)))
+	c.sizeHist.Observe(float64(len(batch)))
+	if len(batch) > c.maxSeen {
+		c.maxSeen = len(batch)
+		c.maxGauge.Set(float64(c.maxSeen))
+	}
+}

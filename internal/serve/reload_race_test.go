@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"predtop/internal/models"
+	"predtop/internal/obs"
+	"predtop/internal/predictor"
+	"predtop/internal/stage"
+)
+
+// TestReloadOldOrNew: requests racing a hot reload must observe either the
+// old registry snapshot or the new one, never a mixture — each response's
+// generation must be consistent with the model set it was answered from.
+// Run with -race in make ci.
+func TestReloadOldOrNew(t *testing.T) {
+	dir := t.TempDir()
+	trA := writeTestModel(t, dir, "m", "tran", 1)
+	s := startTestServer(t, dir, nil)
+
+	m := models.Build(testBenchCfg())
+	enc := predictor.NewEncoder(m, true)
+	e := enc.Encode(stage.Spec{Lo: 0, Hi: 2})
+	wantA := trA.PredictEncoded(e)
+
+	// Overwrite m.predtop with a differently-seeded model mid-flight, then
+	// hot-reload. Gen 1 answers must match model A, gen ≥ 2 answers model B.
+	trB := trainTestModel(t, "tran", 99)
+	wantB := trB.PredictEncoded(e)
+	if math.Float64bits(wantA) == math.Float64bits(wantB) {
+		t.Fatal("test models coincide; pick different seeds")
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, 256)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				resp, code := postPredict(t, s.URL(), PredictRequest{
+					Bench: "GPT-3", Layers: testLayers, Lo: 0, Hi: 2,
+				})
+				if code != 200 {
+					errs <- "non-200 during reload race"
+					return
+				}
+				got := math.Float64bits(resp.LatencySeconds)
+				switch {
+				case resp.Generation == 1 && got != math.Float64bits(wantA):
+					errs <- "generation 1 answered with non-A latency (torn reload)"
+					return
+				case resp.Generation >= 2 && got != math.Float64bits(wantB):
+					errs <- "generation >= 2 answered with non-B latency (torn reload)"
+					return
+				case resp.Generation == 0:
+					errs <- "generation 0 response"
+					return
+				}
+			}
+		}()
+	}
+	if err := predictor.SaveFile(filepath.Join(dir, "m"+ModelExt), trB); err != nil {
+		t.Fatalf("overwriting model: %v", err)
+	}
+	if gen, n, err := s.Reload(); err != nil || gen != 2 || n != 1 {
+		t.Fatalf("reload: gen=%d n=%d err=%v", gen, n, err)
+	}
+	// Let the clients observe the new generation, then stop.
+	for i := 0; i < 3; i++ {
+		resp, _ := postPredict(t, s.URL(), PredictRequest{Bench: "GPT-3", Layers: testLayers, Lo: 0, Hi: 2})
+		if resp.Generation >= 2 {
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	// Post-reload, the memo was purged: the first answer after gen 2 came
+	// from a fresh forward of model B, not a stale gen-1 entry.
+	resp, _ := postPredict(t, s.URL(), PredictRequest{Bench: "GPT-3", Layers: testLayers, Lo: 0, Hi: 2})
+	if math.Float64bits(resp.LatencySeconds) != math.Float64bits(wantB) {
+		t.Fatalf("post-reload latency %v, want model B's %v", resp.LatencySeconds, wantB)
+	}
+}
+
+// TestReloadFailureKeepsServing: a reload against a corrupt model file must
+// keep the old snapshot serving at the old generation.
+func TestReloadFailureKeepsServing(t *testing.T) {
+	dir := t.TempDir()
+	trA := writeTestModel(t, dir, "m", "tran", 1)
+	s := startTestServer(t, dir, nil)
+
+	if err := os.WriteFile(filepath.Join(dir, "broken"+ModelExt), []byte("not a gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Reload(); err == nil {
+		t.Fatal("reload of corrupt model dir should fail")
+	}
+	m := models.Build(testBenchCfg())
+	enc := predictor.NewEncoder(m, true)
+	want := trA.PredictEncoded(enc.Encode(stage.Spec{Lo: 0, Hi: 2}))
+	resp, code := postPredict(t, s.URL(), PredictRequest{Bench: "GPT-3", Layers: testLayers, Lo: 0, Hi: 2})
+	if code != 200 || resp.Generation != 1 {
+		t.Fatalf("after failed reload: code=%d gen=%d, want 200/1", code, resp.Generation)
+	}
+	if math.Float64bits(resp.LatencySeconds) != math.Float64bits(want) {
+		t.Fatal("failed reload changed the serving model")
+	}
+}
+
+// TestCoalescerBatchesDeterministically: with the dispatcher paused, N
+// submitted jobs must queue; starting the dispatcher must then run them as
+// exactly one batch of N — the channel-barrier construction that makes
+// batching testable without sleeps.
+func TestCoalescerBatchesDeterministically(t *testing.T) {
+	tr := trainTestModel(t, "tran", 1)
+	m := models.Build(testBenchCfg())
+	enc := predictor.NewEncoder(m, true)
+	specs := []stage.Spec{{Lo: 0, Hi: 2}, {Lo: 1, Hi: 3}, {Lo: 2, Hi: 5}, {Lo: 0, Hi: 4}, {Lo: 3, Hi: 6}}
+	want := make([]float64, len(specs))
+	for i, sp := range specs {
+		want[i] = tr.PredictEncoded(enc.Encode(sp))
+	}
+
+	reg := obs.NewRegistry()
+	c := newCoalescer(8, 0, 0, reg) // idle: dispatcher not started yet
+	var wg sync.WaitGroup
+	got := make([]float64, len(specs))
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, e *stage.Encoded) {
+			defer wg.Done()
+			out, err := c.submit(tr, e)
+			if err != nil {
+				panic(err)
+			}
+			got[i] = out
+		}(i, enc.Encode(sp))
+	}
+	// Barrier: wait until all jobs are queued on the paused channel, then
+	// start the dispatcher — its drain pass must collect all of them.
+	for len(c.ch) < len(specs) {
+		runtime.Gosched()
+	}
+	c.start()
+	wg.Wait()
+	c.close()
+
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("job %d: batched %v != direct %v", i, got[i], want[i])
+		}
+	}
+	snap := metricValues(reg)
+	if snap[BatchesMetric] != 1 {
+		t.Fatalf("batches = %v, want exactly 1", snap[BatchesMetric])
+	}
+	if snap[BatchedRequestsMetric] != float64(len(specs)) {
+		t.Fatalf("batched requests = %v, want %d", snap[BatchedRequestsMetric], len(specs))
+	}
+	if snap[BatchMaxMetric] != float64(len(specs)) {
+		t.Fatalf("max batch = %v, want %d", snap[BatchMaxMetric], len(specs))
+	}
+}
+
+// TestCoalescerClosedSubmit: submit after close errors instead of hanging or
+// panicking.
+func TestCoalescerClosedSubmit(t *testing.T) {
+	tr := trainTestModel(t, "tran", 1)
+	m := models.Build(testBenchCfg())
+	enc := predictor.NewEncoder(m, true)
+	c := newCoalescer(4, 0, 0, nil)
+	c.start()
+	c.close()
+	if _, err := c.submit(tr, enc.Encode(stage.Spec{Lo: 0, Hi: 2})); err == nil {
+		t.Fatal("submit after close should error")
+	}
+}
+
+// TestCoalescerStress: many goroutines hammering submit while batching is
+// live — every result must still be bitwise correct (run with -race).
+func TestCoalescerStress(t *testing.T) {
+	tr := trainTestModel(t, "tran", 1)
+	m := models.Build(testBenchCfg())
+	enc := predictor.NewEncoder(m, true)
+	specs := []stage.Spec{{Lo: 0, Hi: 2}, {Lo: 1, Hi: 3}, {Lo: 2, Hi: 5}}
+	want := make([]float64, len(specs))
+	es := make([]*stage.Encoded, len(specs))
+	for i, sp := range specs {
+		es[i] = enc.Encode(sp)
+		want[i] = tr.PredictEncoded(es[i])
+	}
+	c := newCoalescer(8, 0, 2, obs.NewRegistry())
+	c.start()
+	defer c.close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				i := (g + rep) % len(specs)
+				out, err := c.submit(tr, es[i])
+				if err != nil {
+					panic(err)
+				}
+				if math.Float64bits(out) != math.Float64bits(want[i]) {
+					panic("stress batch diverged from direct prediction")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// metricValues flattens a registry snapshot to name → value (last labeled
+// variant wins; fine for the unlabeled counters the tests read).
+func metricValues(r *obs.Registry) map[string]float64 {
+	out := map[string]float64{}
+	for _, met := range r.Snapshot() {
+		out[met.Name] = met.Value
+	}
+	return out
+}

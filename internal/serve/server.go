@@ -1,0 +1,366 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+
+	"predtop/internal/lru"
+	"predtop/internal/models"
+	"predtop/internal/obs"
+	"predtop/internal/predictor"
+	"predtop/internal/stage"
+)
+
+// Metric names exported by the request path.
+const (
+	RequestSecondsMetric = "predtop_serve_request_seconds"
+	RequestsMetric       = "predtop_serve_requests_total"
+	CacheHitsMetric      = "predtop_serve_cache_hits_total"
+	CacheMissesMetric    = "predtop_serve_cache_misses_total"
+)
+
+// requestSecondsBuckets spans 100µs … ~0.8s, the plausible range for one
+// batched forward of a pruned stage graph.
+var requestSecondsBuckets = obs.MustExpBuckets(1e-4, 2, 14)
+
+// Config configures a serving daemon (see Start). The zero value plus a
+// ModelDir is usable: it binds a free localhost port, batches up to 32
+// requests with no coalescing window, and runs without telemetry.
+type Config struct {
+	// Addr is the listen address (default "127.0.0.1:0"; read the bound
+	// address back from Server.Addr).
+	Addr string
+	// ModelDir is the directory of *.predtop model files to serve.
+	ModelDir string
+	// MaxBatch caps how many concurrent /predict requests coalesce into one
+	// batched forward (default 32).
+	MaxBatch int
+	// Window is how long the dispatcher waits to fill a batch after its
+	// first request. 0 means batch only what is already queued — no added
+	// latency, batching appears exactly when the server is actually loaded.
+	Window time.Duration
+	// Workers bounds intra-batch parallelism (0 = GOMAXPROCS).
+	Workers int
+	// CacheSize bounds the (model, generation, stage) → latency memo
+	// (default 4096 entries, the same bound as the planner's stage-encoding
+	// cache).
+	CacheSize int
+
+	// Metrics, Sink, Flight, Trace, Acc, and Log are the observability
+	// fan-out; each is optional and nil-safe. When Metrics is set but Acc is
+	// nil, the server creates its own accuracy monitor so ground-truth
+	// requests always feed the predtop_accuracy_* gauges.
+	Metrics *obs.Registry
+	Sink    *obs.Sink
+	Flight  *obs.FlightRecorder
+	Trace   *obs.TraceContext
+	Acc     *obs.AccuracyMonitor
+	Log     *obs.Logger
+
+	// ShutdownTimeout bounds the graceful drain on Close (default 5s).
+	ShutdownTimeout time.Duration
+}
+
+// predKey identifies one memoized prediction. The registry generation is part
+// of the key, so a hot reload can never serve a latency from a retired model
+// even if an entry survives the reload-time purge.
+type predKey struct {
+	model  string
+	gen    uint64
+	bench  string
+	layers int
+	lo, hi int
+}
+
+// benchKey identifies one lazily-built benchmark model + encoder pair.
+type benchKey struct {
+	name   string
+	layers int
+}
+
+type benchEntry struct {
+	model    *models.Model
+	enc      *predictor.Encoder
+	segments int
+}
+
+// Server is the predictor-as-a-service daemon: an HTTP server multiplexing
+// /predict, /models, and /reload next to the standard telemetry endpoints
+// (/metrics, /healthz, /debug/flightrecorder, /debug/pprof/) on one listener.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	coal     *coalescer
+	cache    *lru.Cache[predKey, float64]
+	benches  *lru.Cache[benchKey, *benchEntry]
+	obsSrv   *obs.Server
+	acc      *obs.AccuracyMonitor
+	trace    *obs.TraceContext
+
+	hits   *obs.Counter
+	misses *obs.Counter
+
+	// reloadMu serializes Reload so the registry swap and the memo purge are
+	// one unit — a lookup between them sees either the old generation with
+	// old entries or the new generation with an empty memo.
+	reloadMu sync.Mutex
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Start loads the model registry and begins serving. It fails fast when the
+// model directory is unreadable or holds a corrupt model — a daemon that
+// cannot answer its first query should not come up.
+func Start(ctx context.Context, cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 32
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 4096
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = obs.NewTraceContext(1, "serve")
+	}
+	s := &Server{
+		cfg:      cfg,
+		registry: NewRegistry(cfg.ModelDir, cfg.Metrics),
+		coal:     newCoalescer(cfg.MaxBatch, cfg.Window, cfg.Workers, cfg.Metrics),
+		cache:    lru.New[predKey, float64](cfg.CacheSize),
+		benches:  lru.New[benchKey, *benchEntry](16),
+		trace:    cfg.Trace,
+		acc:      cfg.Acc,
+		hits:     cfg.Metrics.Counter(CacheHitsMetric),
+		misses:   cfg.Metrics.Counter(CacheMissesMetric),
+	}
+	if s.acc == nil && cfg.Metrics != nil {
+		s.acc = obs.NewAccuracyMonitor(obs.AccuracyConfig{
+			Metrics: cfg.Metrics, Log: cfg.Log, MinSamples: 1,
+		})
+	}
+	if _, _, err := s.registry.Load(); err != nil {
+		return nil, err
+	}
+	s.coal.start()
+	cfg.Metrics.SetRunInfo(cfg.Trace)
+	srv, err := obs.StartServer(ctx, obs.ServerConfig{
+		Addr:     cfg.Addr,
+		Registry: cfg.Metrics,
+		Flight:   cfg.Flight,
+		Handlers: map[string]http.Handler{
+			"/predict": s.instrument("/predict", s.handlePredict),
+			"/models":  s.instrument("/models", s.handleModels),
+			"/reload":  s.instrument("/reload", s.handleReload),
+		},
+		ShutdownTimeout: cfg.ShutdownTimeout,
+	})
+	if err != nil {
+		s.coal.close()
+		return nil, err
+	}
+	s.obsSrv = srv
+	if cfg.Log != nil {
+		cfg.Log.Printf("serving %d model(s) from %s on %s", s.registry.Len(), cfg.ModelDir, srv.Addr())
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.obsSrv.Addr() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return s.obsSrv.URL() }
+
+// Registry returns the model registry (for tests and the SIGHUP handler).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Reload re-scans the model directory and purges the latency memo. On error
+// the old snapshot keeps serving and the memo is left intact.
+func (s *Server) Reload() (gen uint64, n int, err error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	gen, n, err = s.registry.Load()
+	if err != nil {
+		return gen, n, err
+	}
+	s.cache.Purge()
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf("reloaded: generation %d, %d model(s)", gen, n)
+	}
+	s.cfg.Flight.Note("reload", fmt.Sprintf("generation %d, %d model(s)", gen, n))
+	return gen, n, nil
+}
+
+// Close shuts the HTTP listener down (draining in-flight requests), then
+// stops the coalescer. Idempotent.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.obsSrv.Close()
+		s.coal.close()
+	})
+	return s.closeErr
+}
+
+// instrument wraps an endpoint handler with the per-endpoint latency
+// histogram and the per-endpoint, per-status request counter. The handler
+// returns the status code it wrote.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) int) http.Handler {
+	hist := s.cfg.Metrics.HistogramWith(RequestSecondsMetric, requestSecondsBuckets,
+		obs.Label{Key: "endpoint", Value: endpoint})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code := h(w, r)
+		hist.Observe(time.Since(start).Seconds())
+		s.cfg.Metrics.CounterWith(RequestsMetric,
+			obs.Label{Key: "endpoint", Value: endpoint},
+			obs.Label{Key: "code", Value: fmt.Sprint(code)}).Inc()
+	})
+}
+
+// writeJSON writes v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+	return code
+}
+
+// writeErr writes an ErrorResponse.
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) int {
+	return writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// benchFor resolves (and memoizes) the benchmark model + encoder for a
+// request's bench/layers pair. Building GPT-3's 26-segment graph is cheap but
+// not free; with the LRU every steady-state request hits the cache.
+func (s *Server) benchFor(cfg models.Config) *benchEntry {
+	be, _ := s.benches.GetOrCompute(benchKey{name: cfg.Name, layers: cfg.Layers}, func() *benchEntry {
+		m := models.Build(cfg)
+		return &benchEntry{model: m, enc: predictor.NewEncoder(m, true), segments: m.NumSegments()}
+	})
+	return be
+}
+
+// handlePredict answers POST /predict: resolve the model, memo-check, else
+// encode the stage and join a coalesced batch.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeErr(w, http.StatusMethodNotAllowed, "POST only")
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxRequestBytes+1))
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, "reading body: %v", err)
+	}
+	if len(body) > MaxRequestBytes {
+		return writeErr(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", MaxRequestBytes)
+	}
+	req, err := DecodePredictRequest(body)
+	if err != nil {
+		return writeErr(w, http.StatusBadRequest, "%v", err)
+	}
+	entry, gen, ok := s.registry.Lookup(req.Model)
+	if !ok {
+		if s.registry.Len() == 0 {
+			return writeErr(w, http.StatusServiceUnavailable, "no models loaded")
+		}
+		return writeErr(w, http.StatusNotFound, "unknown model %q", req.Model)
+	}
+	benchCfg, _ := benchConfig(req.Bench, req.Layers)
+	be := s.benchFor(benchCfg)
+	if req.Hi > be.segments {
+		return writeErr(w, http.StatusBadRequest,
+			"hi %d exceeds %s's %d segments (layers=%d)", req.Hi, benchCfg.Name, be.segments, benchCfg.Layers)
+	}
+
+	span := s.trace.Child("predict")
+	key := predKey{model: entry.Key, gen: gen, bench: benchCfg.Name,
+		layers: benchCfg.Layers, lo: req.Lo, hi: req.Hi}
+	latency, cached := s.cache.Get(key)
+	if cached {
+		s.hits.Inc()
+	} else {
+		s.misses.Inc()
+		enc := be.enc.Encode(stage.Spec{Lo: req.Lo, Hi: req.Hi})
+		latency, err = s.coal.submit(entry.Trained, enc)
+		if err != nil {
+			return writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		}
+		s.cache.Put(key, latency)
+	}
+
+	resp := PredictResponse{
+		TraceID: span.TraceID(), SpanID: span.SpanID(),
+		Model: entry.Key, Family: entry.Family,
+		Bench: benchCfg.Name, Layers: benchCfg.Layers,
+		Lo: req.Lo, Hi: req.Hi,
+		LatencySeconds: latency, LatencyMS: latency * 1e3,
+		Cached: cached, Generation: gen,
+	}
+	if gt := req.GroundTruth; gt != nil {
+		relErr := math.Abs(latency-*gt) / *gt * 100
+		resp.RelErrPct = &relErr
+		if s.acc != nil {
+			s.acc.Observe(obs.AccuracyKey{
+				Family: entry.Family, Mesh: req.Mesh, Op: benchCfg.Name,
+			}, latency, *gt)
+		}
+	}
+	if s.cfg.Sink != nil {
+		// The sink splices the run-level trace_id/span_id as leading fields;
+		// the per-request child span gets its own key to avoid a duplicate.
+		s.cfg.Sink.Emit(map[string]any{
+			"event": "predict", "request_span_id": span.SpanID(),
+			"model": entry.Key, "bench": benchCfg.Name,
+			"lo": req.Lo, "hi": req.Hi,
+			"latency_s": latency, "cached": cached, "generation": gen,
+		})
+	}
+	s.cfg.Flight.Note("predict", fmt.Sprintf("%s %s[%d,%d) -> %.6gs (cached=%v)",
+		entry.Key, benchCfg.Name, req.Lo, req.Hi, latency, cached))
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// modelInfo is one /models listing row.
+type modelInfo struct {
+	Key    string `json:"key"`
+	Family string `json:"family"`
+	Path   string `json:"path"`
+}
+
+// handleModels answers GET /models with the resident registry snapshot.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodGet {
+		return writeErr(w, http.StatusMethodNotAllowed, "GET only")
+	}
+	entries, gen := s.registry.Snapshot()
+	infos := make([]modelInfo, 0, len(entries))
+	for _, e := range entries {
+		infos = append(infos, modelInfo{Key: e.Key, Family: e.Family, Path: e.Path})
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"generation": gen, "models": infos,
+	})
+}
+
+// handleReload answers POST /reload by re-scanning the model directory.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeErr(w, http.StatusMethodNotAllowed, "POST only")
+	}
+	gen, n, err := s.Reload()
+	if err != nil {
+		return writeErr(w, http.StatusInternalServerError, "%v", err)
+	}
+	return writeJSON(w, http.StatusOK, map[string]any{
+		"generation": gen, "models": n,
+	})
+}

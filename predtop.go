@@ -55,6 +55,7 @@ import (
 	"predtop/internal/pipeline"
 	"predtop/internal/planner"
 	"predtop/internal/predictor"
+	"predtop/internal/serve"
 	"predtop/internal/sim"
 	"predtop/internal/stage"
 )
@@ -314,6 +315,20 @@ type (
 	// WorkerPanic wraps a panic recovered in a parallel worker goroutine,
 	// re-raised on the calling goroutine with the worker's original stack.
 	WorkerPanic = parallel.WorkerPanic
+	// ServeConfig configures the predictor-as-a-service daemon (StartServe).
+	ServeConfig = serve.Config
+	// ServeDaemon is a running serving daemon: POST /predict, GET /models,
+	// POST /reload, plus the standard telemetry endpoints on one listener.
+	ServeDaemon = serve.Server
+	// ServePredictRequest is the JSON body of POST /predict.
+	ServePredictRequest = serve.PredictRequest
+	// ServePredictResponse is the JSON body of a successful /predict answer.
+	ServePredictResponse = serve.PredictResponse
+	// ServeReplayConfig configures a synthetic load replay (ServeReplay).
+	ServeReplayConfig = serve.ReplayConfig
+	// ServeReplayResult summarizes one replay: client-side throughput and
+	// latency percentiles plus the daemon's batching and cache counters.
+	ServeReplayResult = serve.ReplayResult
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -398,6 +413,17 @@ func SaveTrained(path string, t Trained) error { return predictor.SaveFile(path,
 
 // LoadTrained reads a predictor saved by SaveTrained.
 func LoadTrained(path string) (Trained, error) { return predictor.LoadFile(path) }
+
+// StartServe loads the daemon's model registry and begins serving; see
+// ServeConfig. The returned daemon is already answering requests.
+func StartServe(ctx context.Context, cfg ServeConfig) (*ServeDaemon, error) {
+	return serve.Start(ctx, cfg)
+}
+
+// ServeReplay drives a deterministic synthetic query load against a running
+// daemon and returns throughput, latency percentiles, and the daemon's
+// batching and cache counters.
+func ServeReplay(cfg ServeReplayConfig) (*ServeReplayResult, error) { return serve.Replay(cfg) }
 
 // Extended white-box schedules (beyond the paper's Eqn 4).
 

@@ -1,0 +1,66 @@
+#!/bin/sh
+# serve-smoke: build predtop-serve + predtop-replay, train a throwaway tiny
+# model, bring the daemon up on an ephemeral port, answer one query through
+# predtop-replay -smoke, and shut down cleanly. Any failure — build, train,
+# startup, query, or a daemon that does not exit 0 on SIGTERM — fails the
+# script, which is wired into `make ci` via the serve-smoke target.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+SERVE_PID=""
+
+cleanup() {
+    status=$?
+    if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+        kill -TERM "$SERVE_PID" 2>/dev/null || true
+        wait "$SERVE_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+    exit $status
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building"
+$GO build -o "$WORK/predtop-serve" ./cmd/predtop-serve
+$GO build -o "$WORK/predtop-replay" ./cmd/predtop-replay
+$GO build -o "$WORK/predtop-train" ./cmd/predtop-train
+
+echo "serve-smoke: training a throwaway model"
+mkdir -p "$WORK/models"
+"$WORK/predtop-train" -bench GPT-3 -layers 4 -samples 10 -epochs 2 \
+    -o "$WORK/models/smoke.predtop" -quiet
+
+echo "serve-smoke: starting the daemon"
+"$WORK/predtop-serve" -models "$WORK/models" -listen 127.0.0.1:0 \
+    -addrfile "$WORK/serve.addr" -quiet &
+SERVE_PID=$!
+
+# Wait for the address file (the daemon writes it once it is serving).
+i=0
+while [ ! -s "$WORK/serve.addr" ]; do
+    i=$((i+1))
+    if [ $i -gt 100 ]; then
+        echo "serve-smoke: daemon never wrote its address file" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        echo "serve-smoke: daemon exited before serving" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR=$(cat "$WORK/serve.addr")
+
+echo "serve-smoke: querying http://$ADDR"
+"$WORK/predtop-replay" -smoke -url "http://$ADDR" -layers 4
+
+echo "serve-smoke: shutting down"
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+    echo "serve-smoke: daemon exited nonzero on SIGTERM" >&2
+    SERVE_PID=""
+    exit 1
+fi
+SERVE_PID=""
+echo "serve-smoke: ok"
