@@ -2,9 +2,9 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race bench bench-compare serve-smoke
+.PHONY: ci fmt vet build test race bench bench-compare serve-smoke staticcheck
 
-ci: fmt vet build test race serve-smoke
+ci: fmt vet staticcheck build test race serve-smoke
 
 # gofmt must be a no-op on the whole tree; offenders are listed so the gate
 # fails with the file names.
@@ -16,6 +16,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck runs whenever a copy is available offline (PATH binary, or a
+# module-cache version via `go run` with GOPROXY=off); otherwise it skips
+# with a notice so air-gapped machines keep a green gate. Findings fail ci.
+staticcheck:
+	GO="$(GO)" sh scripts/staticcheck.sh
 
 build:
 	$(GO) build ./...
@@ -50,11 +56,12 @@ bench:
 
 # bench-compare runs the benchmarks fresh (without archiving) and prints
 # ns/op, B/op, and allocs/op deltas against the most recent BENCH_*.json.
-# -allocthreshold 10 turns the comparison into a gate: any benchmark whose
+# The thresholds turn the comparison into a gate: any benchmark whose
 # allocs/op grew >10% — or allocated at all from a zero-alloc baseline, which
-# pins the guarded instrumentation-off hot paths — fails the target.
+# pins the guarded instrumentation-off hot paths — or whose ns/op grew >10%
+# fails the target.
 bench-compare:
 	@base=$$(ls -t BENCH_*.json 2>/dev/null | head -1); \
 	if [ -z "$$base" ]; then echo "no BENCH_*.json baseline; run 'make bench' first"; exit 1; fi; \
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' -json . | \
-		$(GO) run ./cmd/predtop-benchcmp -base $$base -allocthreshold 10
+		$(GO) run ./cmd/predtop-benchcmp -base $$base -allocthreshold 10 -nsthreshold 10

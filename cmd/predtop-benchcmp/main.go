@@ -12,7 +12,9 @@
 // any benchmark whose allocs/op grew by more than N percent over the
 // baseline — or allocated at all where the baseline was zero, which is how
 // the guarded zero-alloc hot paths are pinned — fails the run with exit
-// status 1 after the full report prints.
+// status 1 after the full report prints. -nsthreshold N (default 10) gates
+// ns/op the same way: wall-time regressions beyond N percent fail the run;
+// 0 disables the gate for noisy one-off comparisons.
 package main
 
 import (
@@ -130,6 +132,8 @@ func main() {
 	next := flag.String("new", "", "new run archive; reads the event stream from stdin when omitted")
 	allocThreshold := flag.Float64("allocthreshold", 0,
 		"fail (exit 1) when any benchmark's allocs/op grows by more than this percentage; a zero-alloc baseline fails on any allocation (0 = off)")
+	nsThreshold := flag.Float64("nsthreshold", 10,
+		"fail (exit 1) when any benchmark's ns/op grows by more than this percentage over the baseline (0 = off)")
 	flag.Parse()
 	if *base == "" {
 		fmt.Fprintln(os.Stderr, "usage: predtop-benchcmp -base BENCH_old.json [-new BENCH_new.json]")
@@ -174,6 +178,9 @@ func main() {
 			if r := allocRegression(*allocThreshold, b.AllocsPerOp, n.AllocsPerOp); r != "" {
 				regressions = append(regressions, fmt.Sprintf("%s: %s", name, r))
 			}
+			if r := nsRegression(*nsThreshold, b.NsPerOp, n.NsPerOp); r != "" {
+				regressions = append(regressions, fmt.Sprintf("%s: %s", name, r))
+			}
 		}
 		fmt.Printf("  %s\n", delta("ns/op", b.NsPerOp, n.NsPerOp))
 		fmt.Printf("  %s\n", delta("B/op", b.BytesPerOp, n.BytesPerOp))
@@ -185,12 +192,25 @@ func main() {
 		}
 	}
 	if len(regressions) > 0 {
-		fmt.Fprintf(os.Stderr, "benchcmp: allocs/op regressions over %.0f%% threshold:\n", *allocThreshold)
+		fmt.Fprintln(os.Stderr, "benchcmp: regressions beyond thresholds:")
 		for _, r := range regressions {
 			fmt.Fprintf(os.Stderr, "  %s\n", r)
 		}
 		os.Exit(1)
 	}
+}
+
+// nsRegression reports why a benchmark fails the -nsthreshold gate, or ""
+// when it passes.
+func nsRegression(threshold, old, new float64) string {
+	if threshold <= 0 || old == 0 {
+		return ""
+	}
+	pct := (new - old) / old * 100
+	if pct > threshold {
+		return fmt.Sprintf("ns/op %s → %s (%+.1f%%)", humanize(old), humanize(new), pct)
+	}
+	return ""
 }
 
 // allocRegression reports why a benchmark fails the -allocthreshold gate, or

@@ -10,10 +10,11 @@
 //	               [-maxlen 3] [-model key] [-gtfrac 0.1] [-seed 1] \
 //	               [-json result.json] [-smoke]
 //
-// -smoke issues a single query and exits 0 only when it was answered — the
-// one-shot liveness probe used by `make serve-smoke`. Without it, the full
-// replay prints a human summary and (with -json) writes the ReplayResult for
-// archiving next to the BENCH_*.json files.
+// -smoke issues a single query and exits 0 only when it was answered AND the
+// daemon is not in SLO breach — the one-shot liveness-plus-health probe used
+// by `make serve-smoke`. Without it, the full replay prints a human summary
+// including the daemon's SLO verdict and (with -json) writes the ReplayResult
+// for archiving next to the BENCH_*.json files.
 package main
 
 import (
@@ -52,7 +53,12 @@ func main() {
 		if res.Errors != 0 {
 			log.Fatalf("smoke query answered with an error (%d/%d failed)", res.Errors, res.Queries)
 		}
-		fmt.Printf("smoke ok: 1 query in %.1fms (generation %.0f)\n", res.P50ms, res.Generation)
+		if res.SLOBreached > 0 {
+			log.Fatalf("smoke: daemon is in SLO breach (%.0f breach(es), 1m burn %.2f, 1m p99 %.4gs)",
+				res.SLOBreaches, res.SLOBurn1m, res.SLOP991m)
+		}
+		fmt.Printf("smoke ok: 1 query in %.1fms (generation %.0f, %s)\n",
+			res.P50ms, res.Generation, sloVerdict(res))
 		return
 	}
 
@@ -70,6 +76,7 @@ func main() {
 	fmt.Printf("cache:   %d hits / %d misses (hit rate %.1f%%)\n",
 		res.CacheHits, res.CacheMisses, res.CacheHitRate*100)
 	fmt.Printf("batches: %d (mean size %.2f, max %.0f)\n", res.Batches, res.MeanBatch, res.MaxBatch)
+	fmt.Printf("slo:     %s\n", sloVerdict(res))
 	if *jsonPath != "" {
 		b, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
@@ -82,6 +89,19 @@ func main() {
 	if res.Errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// sloVerdict renders the daemon's scraped SLO state for the human summaries.
+func sloVerdict(res *predtop.ServeReplayResult) string {
+	if !res.SLOConfigured() {
+		return "slo not configured"
+	}
+	state := "slo ok"
+	if res.SLOBreached > 0 {
+		state = "SLO BREACHED"
+	}
+	return fmt.Sprintf("%s: 1m p99 %.4gs, 1m burn %.2f, %.0f breach(es)",
+		state, res.SLOP991m, res.SLOBurn1m, res.SLOBreaches)
 }
 
 func splitBenches(s string) []string {

@@ -7,14 +7,27 @@
 //
 //	predtop-serve -models ./models -listen 127.0.0.1:9400 \
 //	              [-maxbatch 32] [-window 2ms] [-workers 0] [-cachesize 4096] \
-//	              [-metrics serve.jsonl] [-addrfile serve.addr] [-quiet]
+//	              [-metrics serve.jsonl] [-addrfile serve.addr] [-quiet] \
+//	              [-slo-p99 500ms] [-slo-err 0.05] [-accesslog access.jsonl] \
+//	              [-incidents ./incidents]
 //
 // Endpoints: POST /predict (query a model), GET /models (registry listing),
-// POST /reload (hot-reload the model directory), plus the standard telemetry
-// set — GET /metrics, /healthz, /debug/flightrecorder, /debug/pprof/ — all
-// on the one listener. SIGHUP also triggers a hot reload; SIGINT/SIGTERM
-// shut down gracefully. -addrfile writes the bound address (useful with
-// -listen 127.0.0.1:0) so scripts can find an ephemeral port.
+// POST /reload (hot-reload the model directory), GET /statusz (human-readable
+// SLO and queue state), plus the standard telemetry set — GET /metrics,
+// /healthz, /debug/flightrecorder, /debug/pprof/ — all on the one listener.
+// SIGHUP also triggers a hot reload; SIGINT/SIGTERM shut down gracefully,
+// flushing every registered JSONL sink before exit. -addrfile writes the
+// bound address (useful with -listen 127.0.0.1:0) so scripts can find an
+// ephemeral port.
+//
+// -slo-p99 and -slo-err set the serving objectives: /predict p99 latency and
+// the tolerated bad-request fraction. The daemon tracks both over rolling
+// 1m/5m/1h windows (predtop_slo_* gauges); the moment any window goes out of
+// objective it captures an incident bundle under -incidents — a flight
+// recorder dump plus a short CPU profile, referenced from an slo_breach JSONL
+// record. Both objectives zero disables SLO tracking. -accesslog streams the
+// sampled per-request records (first requests, slow requests, errors, and a
+// steady 1-in-64 background sample) with per-phase trace spans.
 package main
 
 import (
@@ -25,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"predtop"
 )
@@ -40,6 +54,10 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write JSONL request events and a final metrics snapshot to this file")
 	addrFile := flag.String("addrfile", "", "write the bound listen address to this file once serving")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
+	sloP99 := flag.Duration("slo-p99", 500*time.Millisecond, "p99 latency objective for /predict (0 with -slo-err 0 disables SLO tracking)")
+	sloErr := flag.Float64("slo-err", 0.05, "tolerated bad-request fraction (the error budget)")
+	accessPath := flag.String("accesslog", "", "write sampled per-request access records (JSONL) to this file")
+	incidentDir := flag.String("incidents", "", "write SLO-breach evidence bundles (flight dump + CPU profile) under this directory")
 	flag.Parse()
 
 	tc := predtop.NewTraceContext(*seed, "predtop-serve")
@@ -49,38 +67,60 @@ func main() {
 
 	lg := predtop.NewProgressLogger(os.Stderr, *quiet).WithTrace(tc)
 	reg := predtop.NewMetricsRegistry()
-	var sink *predtop.EventSink
-	if *metricsPath != "" {
-		f, err := os.Create(*metricsPath)
+
+	// newSink opens one JSONL sink and registers its close; the graceful
+	// shutdown path (SIGTERM breaking the signal loop) runs every registered
+	// close after the daemon has drained, so no buffered record is lost.
+	var sinkCloses []func()
+	newSink := func(path string) *predtop.EventSink {
+		f, err := os.Create(path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		sink = predtop.NewEventSink(f)
-		sink.SetTraceContext(tc)
-		sink.AttachFlight(fr)
-		defer func() {
-			sink.EmitMetrics(reg)
-			if err := sink.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *metricsPath, err)
+		s := predtop.NewEventSink(f)
+		s.SetTraceContext(tc)
+		s.AttachFlight(fr)
+		sinkCloses = append(sinkCloses, func() {
+			if err := s.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
 			}
-		}()
+			f.Close()
+		})
+		return s
+	}
+	defer func() {
+		for i := len(sinkCloses) - 1; i >= 0; i-- {
+			sinkCloses[i]()
+		}
+	}()
+
+	var sink, access *predtop.EventSink
+	if *metricsPath != "" {
+		sink = newSink(*metricsPath)
+		defer sink.EmitMetrics(reg) // runs before the registered closes above
+	}
+	if *accessPath != "" {
+		access = newSink(*accessPath)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	srv, err := predtop.StartServe(ctx, predtop.ServeConfig{
-		Addr:      *listen,
-		ModelDir:  *modelDir,
-		MaxBatch:  *maxBatch,
-		Window:    *window,
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		Metrics:   reg,
-		Sink:      sink,
-		Flight:    fr,
-		Trace:     tc,
-		Log:       lg,
+		Addr:        *listen,
+		ModelDir:    *modelDir,
+		MaxBatch:    *maxBatch,
+		Window:      *window,
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		Metrics:     reg,
+		Sink:        sink,
+		Flight:      fr,
+		Trace:       tc,
+		Log:         lg,
+		SLOP99:      *sloP99,
+		SLOErr:      *sloErr,
+		IncidentDir: *incidentDir,
+		AccessLog:   access,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -234,3 +234,88 @@ func TestExpBucketsRejectsDegenerate(t *testing.T) {
 	}()
 	MustExpBuckets(0, 2, 4)
 }
+
+func TestGaugeAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("after +3/-1: %v, want 2", got)
+	}
+	g.Add(math.NaN())
+	g.Add(math.Inf(1))
+	if got := g.Value(); got != 2 {
+		t.Fatalf("non-finite delta changed value: %v", got)
+	}
+	if got := r.Counter(DroppedSamplesMetric).Value(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	var nilG *Gauge
+	nilG.Add(1) // must not panic
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	g := NewRegistry().Gauge("depth")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 0 {
+		t.Fatalf("paired adds did not cancel: %v", got)
+	}
+}
+
+func TestHistogramObserveEx(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.01, 0.1})
+	h.ObserveEx(0.005, 0xabc, 0xdef) // first bucket
+	h.ObserveEx(0.5, 0x123, 0x456)   // overflow
+	h.ObserveEx(0.006, 0, 0)         // zero ids: counted, no exemplar
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	var m Metric
+	for _, s := range r.Snapshot() {
+		if s.Name == "lat" {
+			m = s
+		}
+	}
+	if len(m.Buckets) != 1 || m.Buckets[0].Exemplar == nil {
+		t.Fatalf("bucket exemplar missing: %+v", m.Buckets)
+	}
+	ex := m.Buckets[0].Exemplar
+	if ex.TraceID != hex16(0xabc) || ex.SpanID != hex16(0xdef) || ex.Value != 0.005 {
+		t.Fatalf("bucket exemplar = %+v", ex)
+	}
+	if m.OverflowEx == nil || m.OverflowEx.TraceID != hex16(0x123) {
+		t.Fatalf("overflow exemplar = %+v", m.OverflowEx)
+	}
+	// Last-writer-wins within a bucket.
+	h.ObserveEx(0.004, 0x999, 0x888)
+	for _, s := range NewRegistrySnapshotOf(r, "lat").Buckets {
+		if s.Exemplar.TraceID != hex16(0x999) {
+			t.Fatalf("exemplar not last-writer-wins: %+v", s.Exemplar)
+		}
+	}
+	var nilH *Histogram
+	nilH.ObserveEx(1, 1, 1) // must not panic
+}
+
+// NewRegistrySnapshotOf returns the named metric from r's snapshot (test helper).
+func NewRegistrySnapshotOf(r *Registry, name string) Metric {
+	for _, m := range r.Snapshot() {
+		if m.Name == name {
+			return m
+		}
+	}
+	return Metric{}
+}

@@ -68,6 +68,16 @@ func (tc *TraceContext) SpanID() string {
 	return hex16(tc.spanID)
 }
 
+// RawIDs returns the raw 64-bit (trace, span) ids — the allocation-free form
+// instruments like the SLO tracker and histogram exemplars store, rendering
+// to hex only at exposition time. (0, 0) on nil.
+func (tc *TraceContext) RawIDs() (trace, span uint64) {
+	if tc == nil {
+		return 0, 0
+	}
+	return tc.traceID, tc.spanID
+}
+
 // Name returns the span name ("" on nil).
 func (tc *TraceContext) Name() string {
 	if tc == nil {

@@ -16,6 +16,7 @@ const (
 	BatchedRequestsMetric = "predtop_serve_batched_requests_total"
 	BatchSizeMetric       = "predtop_serve_batch_size"
 	BatchMaxMetric        = "predtop_serve_batch_max"
+	QueueDepthMetric      = "predtop_serve_queue_depth"
 )
 
 // errCoalescerClosed is returned by submit after close — the server maps it
@@ -24,11 +25,19 @@ var errCoalescerClosed = errors.New("serve: coalescer closed")
 
 // predictJob is one request's slot in a batch: its resolved predictor, its
 // encoded stage graph, and the channel the runner closes once out is final.
+// The dispatcher stamps the phase boundaries every request trace is built
+// from: enqueue → dequeued into a batch → batched forward start/end.
 type predictJob struct {
 	tr   predictor.Trained
 	enc  *stage.Encoded
 	out  float64
 	done chan struct{}
+
+	tEnq      time.Time // submit called (request joined the queue)
+	tDeq      time.Time // dispatcher pulled it into the current batch
+	tFwd0     time.Time // its group's batched forward started
+	tFwd1     time.Time // its group's batched forward finished
+	batchSize int       // size of the batch it rode in
 }
 
 // coalescer folds concurrent predictions into batched forwards. Submitted
@@ -53,7 +62,13 @@ type coalescer struct {
 	requests *obs.Counter
 	sizeHist *obs.Histogram
 	maxGauge *obs.Gauge
-	maxSeen  int // dispatcher-only; mirrors into maxGauge
+	depth    *obs.Gauge // live queue depth: +1 on submit, -1 on dequeue
+	maxSeen  int        // dispatcher-only; mirrors into maxGauge
+
+	// beforeForward, when set, runs ahead of every batched forward (inside
+	// the forward phase window) with the batch size — the hook the SLO e2e
+	// test uses to slow the forward path without touching the predictor.
+	beforeForward func(n int)
 }
 
 // batchSizeBuckets: 1, 2, 4, … 128 — batch size 1 lands in the first bucket,
@@ -76,6 +91,7 @@ func newCoalescer(maxBatch int, window time.Duration, workers int, metrics *obs.
 		requests: metrics.Counter(BatchedRequestsMetric),
 		sizeHist: metrics.Histogram(BatchSizeMetric, batchSizeBuckets),
 		maxGauge: metrics.Gauge(BatchMaxMetric),
+		depth:    metrics.Gauge(QueueDepthMetric),
 	}
 }
 
@@ -85,18 +101,20 @@ func (c *coalescer) start() {
 	go c.loop()
 }
 
-// submit enqueues one prediction and blocks until its batch ran.
-func (c *coalescer) submit(tr predictor.Trained, enc *stage.Encoded) (float64, error) {
-	j := &predictJob{tr: tr, enc: enc, done: make(chan struct{})}
+// submit enqueues one prediction and blocks until its batch ran. The returned
+// job carries the result plus the phase timestamps the dispatcher stamped.
+func (c *coalescer) submit(tr predictor.Trained, enc *stage.Encoded) (*predictJob, error) {
+	j := &predictJob{tr: tr, enc: enc, done: make(chan struct{}), tEnq: time.Now()}
 	c.mu.RLock()
 	if c.closed {
 		c.mu.RUnlock()
-		return 0, errCoalescerClosed
+		return nil, errCoalescerClosed
 	}
+	c.depth.Add(1)
 	c.ch <- j
 	c.mu.RUnlock()
 	<-j.done
-	return j.out, nil
+	return j, nil
 }
 
 // close stops accepting jobs, drains the queue, and waits for the dispatcher
@@ -120,6 +138,7 @@ func (c *coalescer) loop() {
 		if !ok {
 			return
 		}
+		c.dequeued(j)
 		batch = append(batch[:0], j)
 		if c.window > 0 {
 			timer := time.NewTimer(c.window)
@@ -130,6 +149,7 @@ func (c *coalescer) loop() {
 					if !ok {
 						break fill // closed mid-window: run what we have
 					}
+					c.dequeued(j2)
 					batch = append(batch, j2)
 				case <-timer.C:
 					break fill
@@ -144,6 +164,7 @@ func (c *coalescer) loop() {
 					if !ok {
 						break drain
 					}
+					c.dequeued(j2)
 					batch = append(batch, j2)
 				default:
 					break drain
@@ -152,6 +173,12 @@ func (c *coalescer) loop() {
 		}
 		c.run(batch)
 	}
+}
+
+// dequeued stamps a job's queue-exit and mirrors the live depth gauge.
+func (c *coalescer) dequeued(j *predictJob) {
+	j.tDeq = time.Now()
+	c.depth.Add(-1)
 }
 
 // run executes one batch: jobs grouped by predictor, one batched forward per
@@ -172,9 +199,16 @@ func (c *coalescer) run(batch []*predictJob) {
 		g.encs = append(g.encs, j.enc)
 	}
 	for tr, g := range groups {
+		t0 := time.Now()
+		if c.beforeForward != nil {
+			c.beforeForward(len(batch))
+		}
 		outs := tr.PredictEncodedBatch(g.encs, c.workers)
+		t1 := time.Now()
 		for k, i := range g.idx {
 			batch[i].out = outs[k]
+			batch[i].tFwd0, batch[i].tFwd1 = t0, t1
+			batch[i].batchSize = len(batch)
 		}
 	}
 	for _, j := range batch {

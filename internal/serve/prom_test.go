@@ -70,10 +70,12 @@ func TestServePromExposition(t *testing.T) {
 		`predtop_serve_requests_total{code="400",endpoint="/predict"} 1`,
 		`predtop_serve_requests_total{code="200",endpoint="/models"} 1`,
 		`predtop_serve_requests_total{code="200",endpoint="/reload"} 1`,
+		`predtop_serve_queue_depth 0`, // every submitted job was dequeued
 		"# TYPE predtop_serve_registry_generation gauge",
 		"# TYPE predtop_serve_reloads_total counter",
 		"# TYPE predtop_serve_request_seconds histogram",
 		"# TYPE predtop_serve_batch_size histogram",
+		"# TYPE predtop_serve_queue_depth gauge",
 	} {
 		if !strings.Contains(exposition, want+"\n") {
 			t.Errorf("exposition missing %q", want)

@@ -142,11 +142,11 @@ func TestCoalescerBatchesDeterministically(t *testing.T) {
 		wg.Add(1)
 		go func(i int, e *stage.Encoded) {
 			defer wg.Done()
-			out, err := c.submit(tr, e)
+			j, err := c.submit(tr, e)
 			if err != nil {
 				panic(err)
 			}
-			got[i] = out
+			got[i] = j.out
 		}(i, enc.Encode(sp))
 	}
 	// Barrier: wait until all jobs are queued on the paused channel, then
@@ -212,11 +212,11 @@ func TestCoalescerStress(t *testing.T) {
 			defer wg.Done()
 			for rep := 0; rep < 20; rep++ {
 				i := (g + rep) % len(specs)
-				out, err := c.submit(tr, es[i])
+				j, err := c.submit(tr, es[i])
 				if err != nil {
 					panic(err)
 				}
-				if math.Float64bits(out) != math.Float64bits(want[i]) {
+				if math.Float64bits(j.out) != math.Float64bits(want[i]) {
 					panic("stress batch diverged from direct prediction")
 				}
 			}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"predtop/internal/models"
+	"predtop/internal/obs"
 )
 
 // ReplayConfig drives a synthetic load replay against a running daemon: a
@@ -67,7 +68,18 @@ type ReplayResult struct {
 	MeanBatch    float64 `json:"mean_batch"`
 	MaxBatch     float64 `json:"max_batch"`
 	Generation   float64 `json:"generation"`
+
+	// SLO verdicts scraped from the daemon's predtop_slo_* series. The -1
+	// sentinels mean the daemon exports no SLO tracker (started without
+	// objectives) — distinct from a healthy 0.
+	SLOBreached float64 `json:"slo_breached"` // 1 in breach, 0 ok, -1 not configured
+	SLOBreaches float64 `json:"slo_breaches"` // ok→breach edges so far, -1 not configured
+	SLOBurn1m   float64 `json:"slo_burn_1m"`  // 1m-window error-budget burn rate
+	SLOP991m    float64 `json:"slo_p99_1m_s"` // 1m-window p99 latency estimate
 }
+
+// SLOConfigured reports whether the scraped daemon exports an SLO tracker.
+func (r *ReplayResult) SLOConfigured() bool { return r.SLOBreached >= 0 }
 
 // Replay runs the load driver to completion and returns the summary. The
 // only error path is a malformed config or an unreachable daemon on the very
@@ -206,6 +218,7 @@ func scrapeMetrics(client *http.Client, url string, res *ReplayResult) error {
 		return err
 	}
 	defer resp.Body.Close()
+	res.SLOBreached, res.SLOBreaches = -1, -1 // until the series prove otherwise
 	var batchSum, batchCount float64
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
@@ -216,6 +229,15 @@ func scrapeMetrics(client *http.Client, url string, res *ReplayResult) error {
 		name, val, ok := promSample(line)
 		if !ok {
 			continue
+		}
+		// The SLO gauges are labeled by window (and quantile); promSample
+		// strips labels, so the 1m-window series are matched on the full
+		// rendered prefix instead.
+		switch {
+		case strings.HasPrefix(line, obs.SLOBurnRateMetric+`{window="1m0s"}`):
+			res.SLOBurn1m = val
+		case strings.HasPrefix(line, obs.SLOLatencyMetric+`{quantile="0.99",window="1m0s"}`):
+			res.SLOP991m = val
 		}
 		switch name {
 		case CacheHitsMetric:
@@ -232,6 +254,10 @@ func scrapeMetrics(client *http.Client, url string, res *ReplayResult) error {
 			res.MaxBatch = val
 		case RegistryGenerationMetric:
 			res.Generation = val
+		case obs.SLOBreachGauge:
+			res.SLOBreached = val
+		case obs.SLOBreachesMetric:
+			res.SLOBreaches = val
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"predtop/internal/obs"
+)
+
+// accessSampler decides which finished /predict requests earn an access-log
+// record. Logging every request would swamp the JSONL sink under replay load,
+// so the sampler keeps the interesting subset: the first headN requests
+// ("head" — startup behaviour), every request at or over the slow threshold
+// ("slow"), every server error ("error"), and every every-th request after
+// that ("rate" — a steady background sample). Decisions come from an atomic
+// counter, never from randomness, so a fixed request order always samples the
+// same requests. A nil sampler samples nothing.
+type accessSampler struct {
+	headN int64
+	every int64
+	slowS float64
+	seen  atomic.Int64
+}
+
+func newAccessSampler(headN, every int, slow time.Duration) *accessSampler {
+	if headN <= 0 {
+		headN = 8
+	}
+	if every <= 0 {
+		every = 64
+	}
+	return &accessSampler{headN: int64(headN), every: int64(every), slowS: slow.Seconds()}
+}
+
+// decide returns the sampling reason for one finished request, or "" to skip
+// it. Error and slow requests always log; the head and rate tiers fill in the
+// healthy baseline around them.
+func (a *accessSampler) decide(durS float64, code int) string {
+	if a == nil {
+		return ""
+	}
+	n := a.seen.Add(1)
+	switch {
+	case code >= 500:
+		return "error"
+	case a.slowS > 0 && durS >= a.slowS:
+		return "slow"
+	case n <= a.headN:
+		return "head"
+	case n%a.every == 0:
+		return "rate"
+	}
+	return ""
+}
+
+// reqInfo carries one request's identity and phase evidence from the handler
+// back to the instrument wrapper: the request span (whose ids become the
+// histogram exemplar and the SLO worst-offender entry), the resolved query,
+// and — for requests that rode a batch — the coalescer job with its phase
+// timestamps.
+type reqInfo struct {
+	span   *obs.TraceContext
+	model  string
+	bench  string
+	lo, hi int
+	cached bool
+	job    *predictJob
+}
+
+// phaseRecord is one request phase in an access record: a named child span
+// (deterministic id under the request span) and its duration.
+type phaseRecord struct {
+	Name   string `json:"name"`
+	SpanID string `json:"span_id"`
+	Us     int64  `json:"us"`
+}
+
+// logAccess emits one sampled {"event":"access"} record for a finished
+// /predict request: status, query, total latency, and the per-phase breakdown
+// enqueue → coalesce-wait → batch-assembly → forward → respond (or a single
+// memo_hit phase for cached answers), each phase a child span of the request
+// span so the record, the metric exemplars, and the SLO worst list all join
+// on the same ids.
+func (s *Server) logAccess(ri *reqInfo, code int, start time.Time, dur time.Duration) {
+	if s.access == nil {
+		return
+	}
+	reason := s.sampler.decide(dur.Seconds(), code)
+	if reason == "" {
+		return
+	}
+	rec := map[string]any{
+		"event": "access", "endpoint": "/predict", "sampled": reason,
+		"code": code, "total_us": dur.Microseconds(),
+	}
+	if ri.span != nil {
+		rec["request_span_id"] = ri.span.SpanID()
+	}
+	if ri.model != "" {
+		rec["model"] = ri.model
+	}
+	if ri.bench != "" {
+		rec["bench"], rec["lo"], rec["hi"] = ri.bench, ri.lo, ri.hi
+		rec["cached"] = ri.cached
+	}
+	var phases []phaseRecord
+	addPhase := func(name string, d time.Duration) {
+		if d < 0 {
+			d = 0
+		}
+		phases = append(phases, phaseRecord{
+			Name: name, SpanID: ri.span.Child(name).SpanID(), Us: d.Microseconds(),
+		})
+	}
+	switch {
+	case ri.job != nil:
+		j := ri.job
+		end := start.Add(dur)
+		addPhase("enqueue", j.tEnq.Sub(start))        // decode, validate, encode
+		addPhase("coalesce_wait", j.tDeq.Sub(j.tEnq)) // queued, batch not yet open
+		addPhase("batch_assembly", j.tFwd0.Sub(j.tDeq))
+		addPhase("forward", j.tFwd1.Sub(j.tFwd0))
+		addPhase("respond", end.Sub(j.tFwd1))
+		rec["batch_size"] = j.batchSize
+	case ri.cached:
+		addPhase("memo_hit", dur)
+	}
+	if phases != nil {
+		rec["phases"] = phases
+	}
+	s.access.Emit(rec)
+}

@@ -63,8 +63,40 @@ type Config struct {
 	Acc     *obs.AccuracyMonitor
 	Log     *obs.Logger
 
+	// SLOP99 is the /predict p99 latency objective and SLOErr the tolerated
+	// bad-request fraction (the error budget). Setting either enables the
+	// rolling SLO tracker — 1m/5m/1h windows, predtop_slo_* gauges, the
+	// edge-triggered predtop_slo_breach_total counter, and breach-triggered
+	// incident capture. Both zero leaves SLO tracking off entirely.
+	SLOP99 time.Duration
+	SLOErr float64
+	// SLOMinSamples arms breach detection per window (default 10): an idle
+	// daemon's first slow request cannot trip a breach on its own.
+	SLOMinSamples int
+	// IncidentDir, when set, receives one evidence bundle per ok→breach
+	// transition: a flight-recorder dump plus a bounded-window CPU profile,
+	// referenced from the {"event":"slo_breach"} record emitted through Sink.
+	// Empty still emits the slo_breach record, just without file artifacts.
+	IncidentDir string
+	// ProfileWindow bounds the breach-time CPU profile (default 250ms).
+	ProfileWindow time.Duration
+	// AccessLog receives the sampled {"event":"access"} per-request records
+	// (head + slow + error + every-64th); nil falls back to Sink, and no
+	// access log is written when both are nil.
+	AccessLog *obs.Sink
+	// AccessHeadN, AccessEvery, and SlowThreshold tune the access sampler:
+	// log the first AccessHeadN requests, every AccessEvery-th after that,
+	// and everything at or over SlowThreshold (defaults 8, 64, and the
+	// latency objective — 100ms when no objective is set).
+	AccessHeadN   int
+	AccessEvery   int
+	SlowThreshold time.Duration
+
 	// ShutdownTimeout bounds the graceful drain on Close (default 5s).
 	ShutdownTimeout time.Duration
+
+	// sloNow injects the SLO tracker's clock (tests only; default time.Now).
+	sloNow func() time.Time
 }
 
 // predKey identifies one memoized prediction. The registry generation is part
@@ -103,6 +135,12 @@ type Server struct {
 	acc      *obs.AccuracyMonitor
 	trace    *obs.TraceContext
 
+	slo       *obs.SLOTracker
+	incidents *incidentCapture
+	sampler   *accessSampler
+	access    *obs.Sink
+	start     time.Time
+
 	hits   *obs.Counter
 	misses *obs.Counter
 
@@ -139,8 +177,33 @@ func Start(ctx context.Context, cfg Config) (*Server, error) {
 		benches:  lru.New[benchKey, *benchEntry](16),
 		trace:    cfg.Trace,
 		acc:      cfg.Acc,
+		start:    time.Now(),
 		hits:     cfg.Metrics.Counter(CacheHitsMetric),
 		misses:   cfg.Metrics.Counter(CacheMissesMetric),
+	}
+	if cfg.SLOP99 > 0 || cfg.SLOErr > 0 {
+		s.incidents = newIncidentCapture(cfg.IncidentDir, cfg.ProfileWindow, cfg.Flight, cfg.Sink, cfg.Log)
+		s.slo = obs.NewSLOTracker(obs.SLOConfig{
+			P99Objective: cfg.SLOP99.Seconds(),
+			ErrObjective: cfg.SLOErr,
+			MinSamples:   cfg.SLOMinSamples,
+			Now:          cfg.sloNow,
+			Metrics:      cfg.Metrics,
+			OnBreach:     s.incidents.onBreach,
+		})
+	}
+	slow := cfg.SlowThreshold
+	if slow <= 0 {
+		if cfg.SLOP99 > 0 {
+			slow = cfg.SLOP99
+		} else {
+			slow = 100 * time.Millisecond
+		}
+	}
+	s.sampler = newAccessSampler(cfg.AccessHeadN, cfg.AccessEvery, slow)
+	s.access = cfg.AccessLog
+	if s.access == nil {
+		s.access = cfg.Sink
 	}
 	if s.acc == nil && cfg.Metrics != nil {
 		s.acc = obs.NewAccuracyMonitor(obs.AccuracyConfig{
@@ -160,6 +223,7 @@ func Start(ctx context.Context, cfg Config) (*Server, error) {
 			"/predict": s.instrument("/predict", s.handlePredict),
 			"/models":  s.instrument("/models", s.handleModels),
 			"/reload":  s.instrument("/reload", s.handleReload),
+			"/statusz": s.instrument("/statusz", s.handleStatusz),
 		},
 		ShutdownTimeout: cfg.ShutdownTimeout,
 	})
@@ -201,28 +265,41 @@ func (s *Server) Reload() (gen uint64, n int, err error) {
 }
 
 // Close shuts the HTTP listener down (draining in-flight requests), then
-// stops the coalescer. Idempotent.
+// stops the coalescer and waits for any in-flight incident capture, so a
+// breach right before shutdown still gets its evidence bundle. Idempotent.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		s.closeErr = s.obsSrv.Close()
 		s.coal.close()
+		s.incidents.drain()
 	})
 	return s.closeErr
 }
 
 // instrument wraps an endpoint handler with the per-endpoint latency
 // histogram and the per-endpoint, per-status request counter. The handler
-// returns the status code it wrote.
-func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request) int) http.Handler {
+// returns the status code it wrote and fills ri with the request's span and
+// phase evidence; the wrapper turns those into a latency exemplar, an SLO
+// observation (/predict only — listings and reloads have no latency
+// objective), and a sampled access-log record.
+func (s *Server) instrument(endpoint string, h func(http.ResponseWriter, *http.Request, *reqInfo) int) http.Handler {
 	hist := s.cfg.Metrics.HistogramWith(RequestSecondsMetric, requestSecondsBuckets,
 		obs.Label{Key: "endpoint", Value: endpoint})
+	isPredict := endpoint == "/predict"
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		code := h(w, r)
-		hist.Observe(time.Since(start).Seconds())
+		var ri reqInfo
+		code := h(w, r, &ri)
+		dur := time.Since(start)
+		trace, span := ri.span.RawIDs()
+		hist.ObserveEx(dur.Seconds(), trace, span)
 		s.cfg.Metrics.CounterWith(RequestsMetric,
 			obs.Label{Key: "endpoint", Value: endpoint},
 			obs.Label{Key: "code", Value: fmt.Sprint(code)}).Inc()
+		if isPredict {
+			s.slo.Observe(dur.Seconds(), code >= 500, trace, span)
+			s.logAccess(&ri, code, start, dur)
+		}
 	})
 }
 
@@ -251,8 +328,12 @@ func (s *Server) benchFor(cfg models.Config) *benchEntry {
 }
 
 // handlePredict answers POST /predict: resolve the model, memo-check, else
-// encode the stage and join a coalesced batch.
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
+// encode the stage and join a coalesced batch. The request span is created
+// before validation so even rejected requests carry trace ids through the
+// access log and the latency exemplars.
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, ri *reqInfo) int {
+	span := s.trace.Child("predict")
+	ri.span = span
 	if r.Method != http.MethodPost {
 		return writeErr(w, http.StatusMethodNotAllowed, "POST only")
 	}
@@ -281,19 +362,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 			"hi %d exceeds %s's %d segments (layers=%d)", req.Hi, benchCfg.Name, be.segments, benchCfg.Layers)
 	}
 
-	span := s.trace.Child("predict")
+	ri.model, ri.bench, ri.lo, ri.hi = entry.Key, benchCfg.Name, req.Lo, req.Hi
 	key := predKey{model: entry.Key, gen: gen, bench: benchCfg.Name,
 		layers: benchCfg.Layers, lo: req.Lo, hi: req.Hi}
 	latency, cached := s.cache.Get(key)
 	if cached {
 		s.hits.Inc()
+		ri.cached = true
 	} else {
 		s.misses.Inc()
 		enc := be.enc.Encode(stage.Spec{Lo: req.Lo, Hi: req.Hi})
-		latency, err = s.coal.submit(entry.Trained, enc)
+		job, err := s.coal.submit(entry.Trained, enc)
 		if err != nil {
 			return writeErr(w, http.StatusServiceUnavailable, "%v", err)
 		}
+		ri.job = job
+		latency = job.out
 		s.cache.Put(key, latency)
 	}
 
@@ -337,7 +421,7 @@ type modelInfo struct {
 }
 
 // handleModels answers GET /models with the resident registry snapshot.
-func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) int {
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request, _ *reqInfo) int {
 	if r.Method != http.MethodGet {
 		return writeErr(w, http.StatusMethodNotAllowed, "GET only")
 	}
@@ -352,7 +436,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) int {
 }
 
 // handleReload answers POST /reload by re-scanning the model directory.
-func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) int {
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request, _ *reqInfo) int {
 	if r.Method != http.MethodPost {
 		return writeErr(w, http.StatusMethodNotAllowed, "POST only")
 	}

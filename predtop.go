@@ -310,6 +310,22 @@ type (
 	AccuracyKey = obs.AccuracyKey
 	// AccuracyStats is a point-in-time read of one accuracy group.
 	AccuracyStats = obs.AccuracyStats
+	// SLOTracker keeps rolling multi-window (1m/5m/1h) latency percentiles,
+	// error rate, and error-budget burn against configured objectives, with
+	// edge-triggered breach callbacks. A nil tracker is an inert no-op.
+	SLOTracker = obs.SLOTracker
+	// SLOTrackerConfig configures NewSLOTracker: objectives, minimum sample
+	// arming threshold, metrics registry, breach callback, and clock.
+	SLOTrackerConfig = obs.SLOConfig
+	// SLOSnapshot is a point-in-time read of the tracker: per-window stats,
+	// breach state, and the worst recent requests with their trace ids.
+	SLOSnapshot = obs.SLOSnapshot
+	// SLOWindowStats is one rolling window's aggregates (count, errors,
+	// p50/p95/p99, error rate, burn rate).
+	SLOWindowStats = obs.SLOWindowStats
+	// SLOWorstRequest is one slow-request exemplar kept by the tracker,
+	// carrying the trace/span ids that join it to the access log.
+	SLOWorstRequest = obs.WorstRequest
 	// MetricLabel is one metric dimension for labeled counters and gauges.
 	MetricLabel = obs.Label
 	// WorkerPanic wraps a panic recovered in a parallel worker goroutine,
@@ -368,6 +384,11 @@ func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewFlightRecor
 
 // NewAccuracyMonitor returns an online prediction-accuracy monitor.
 func NewAccuracyMonitor(cfg AccuracyConfig) *AccuracyMonitor { return obs.NewAccuracyMonitor(cfg) }
+
+// NewSLOTracker returns a rolling SLO tracker for the given objectives. The
+// serving daemon builds one automatically when ServeConfig sets SLOP99 or
+// SLOErr; construct one directly to track any other request stream.
+func NewSLOTracker(cfg SLOTrackerConfig) *SLOTracker { return obs.NewSLOTracker(cfg) }
 
 // SetWorkerPanicHook installs a process-wide hook observing the first panic
 // recovered in any parallel worker loop before it is re-raised on the caller

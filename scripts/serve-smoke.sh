@@ -32,8 +32,14 @@ mkdir -p "$WORK/models"
     -o "$WORK/models/smoke.predtop" -quiet
 
 echo "serve-smoke: starting the daemon"
+# Generous explicit objectives: the SLO machinery (tracker, /statusz, breach
+# wiring) runs for real, but a slow CI box can never trip a breach and flake
+# the gate. The incident dir proves the breach path stays quiet: it must be
+# empty at shutdown.
 "$WORK/predtop-serve" -models "$WORK/models" -listen 127.0.0.1:0 \
-    -addrfile "$WORK/serve.addr" -quiet &
+    -addrfile "$WORK/serve.addr" -quiet \
+    -slo-p99 30s -slo-err 0.9 -incidents "$WORK/incidents" \
+    -accesslog "$WORK/access.jsonl" &
 SERVE_PID=$!
 
 # Wait for the address file (the daemon writes it once it is serving).
@@ -53,7 +59,27 @@ done
 ADDR=$(cat "$WORK/serve.addr")
 
 echo "serve-smoke: querying http://$ADDR"
-"$WORK/predtop-replay" -smoke -url "http://$ADDR" -layers 4
+# -smoke fails on an unanswered query OR a daemon in SLO breach, and prints
+# the scraped SLO verdict; require the verdict to actually be there. (No
+# pipe into tee: plain sh would take the pipeline status from tee and mask a
+# replay failure.)
+"$WORK/predtop-replay" -smoke -url "http://$ADDR" -layers 4 > "$WORK/smoke.out"
+cat "$WORK/smoke.out"
+grep -q "slo ok" "$WORK/smoke.out" || {
+    echo "serve-smoke: replay printed no SLO verdict" >&2
+    exit 1
+}
+
+echo "serve-smoke: checking /statusz"
+if ! curl -sf "http://$ADDR/statusz" | grep -q "state: ok"; then
+    echo "serve-smoke: /statusz missing or not ok" >&2
+    exit 1
+fi
+
+if [ -d "$WORK/incidents" ] && [ -n "$(ls -A "$WORK/incidents" 2>/dev/null)" ]; then
+    echo "serve-smoke: unexpected incident bundle(s) under generous objectives" >&2
+    exit 1
+fi
 
 echo "serve-smoke: shutting down"
 kill -TERM "$SERVE_PID"

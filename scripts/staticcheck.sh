@@ -1,0 +1,26 @@
+#!/bin/sh
+# staticcheck gate for `make ci`. Runs honnef.co/go/tools/cmd/staticcheck over
+# the whole tree when a copy is available OFFLINE — a binary on PATH first,
+# else a version already present in the module cache via `go run` with the
+# network proxy disabled. Environments with neither (and no network to fetch
+# one) print a notice and skip instead of failing: the gate must stay
+# runnable on air-gapped machines, and it hard-fails only on actual findings.
+set -eu
+
+GO=${GO:-go}
+
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "staticcheck: $(command -v staticcheck) ./..."
+    exec staticcheck ./...
+fi
+
+MODCACHE=$($GO env GOMODCACHE)
+if [ -n "$MODCACHE" ] && ls -d "$MODCACHE"/honnef.co/go/tools@* >/dev/null 2>&1; then
+    # Pin to the newest cached version; GOPROXY=off guarantees no download.
+    ver=$(ls -d "$MODCACHE"/honnef.co/go/tools@* | sort | tail -1)
+    ver=${ver##*@}
+    echo "staticcheck: $GO run honnef.co/go/tools/cmd/staticcheck@$ver ./..."
+    exec env GOPROXY=off $GO run "honnef.co/go/tools/cmd/staticcheck@$ver" ./...
+fi
+
+echo "staticcheck: not available offline (no binary on PATH, nothing in the module cache); skipping"
