@@ -2,9 +2,9 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race bench bench-compare serve-smoke staticcheck
+.PHONY: ci fmt vet build test race bench bench-compare serve-smoke plan-smoke staticcheck
 
-ci: fmt vet staticcheck build test race serve-smoke
+ci: fmt vet staticcheck build test race serve-smoke plan-smoke
 
 # gofmt must be a no-op on the whole tree; offenders are listed so the gate
 # fails with the file names.
@@ -43,6 +43,13 @@ race:
 # query, and shut down cleanly. Nonzero exit on any failure.
 serve-smoke:
 	GO="$(GO)" sh scripts/serve-smoke.sh
+
+# plan-smoke exercises the planner observability stack for real: quick-preset
+# planning with provenance reports and a what-if replay, a -diff over the
+# emitted report files, and a byte-identical-report check across two runs of
+# the same seed. Nonzero exit on any failure.
+plan-smoke:
+	GO="$(GO)" sh scripts/plan-smoke.sh
 
 # Paper-artifact benchmarks at the quick preset; one iteration each.
 # `make bench` also archives the run as a timestamped BENCH_<date>.json

@@ -9,6 +9,17 @@
 //	predtop-plan [-preset quick|paper] [-bench GPT-3|MoE|all] [-out results.txt]
 //	             [-metrics run.jsonl] [-trace run.json] [-listen :9090]
 //	             [-profile spans.txt] [-driftmre 25] [-quiet]
+//	             [-report DIR] [-whatif SPEC] [-diff a.json,b.json]
+//
+// -report writes each feasible plan's provenance report — per-stage
+// latencies, mesh assignments, Eqn-4 decomposition, predictor fingerprint,
+// and search statistics — to DIR as both canonical JSON (byte-identical for
+// a fixed seed) and a human-readable text rendering. -whatif replays every
+// cached plan against a perturbed cluster without re-searching and prints
+// the side-by-side latency diff; SPEC is comma-separated key=value pairs:
+// microbatches=N (alias b), platform=1|2, and intranode-bw / internode-bw /
+// internode-lat scale factors (e.g. "microbatches=32,internode-bw=x4").
+// -diff compares two report files written by -report and exits.
 //
 // -metrics streams JSONL records (run config, one plan_run record per
 // planner version, per-family accuracy records, a final metrics snapshot);
@@ -35,11 +46,14 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"predtop/internal/cluster"
 	"predtop/internal/experiments"
 	"predtop/internal/obs"
 	"predtop/internal/parallel"
+	"predtop/internal/planner"
 )
 
 func main() {
@@ -53,7 +67,26 @@ func main() {
 	profilePath := flag.String("profile", "", "write a per-phase self-time span profile to this file")
 	driftMRE := flag.Float64("driftmre", 0, "warn and count drift when a predictor family's validation MRE exceeds this percentage (0 = off)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr (the report still prints)")
+	reportDir := flag.String("report", "", "write per-plan provenance reports (JSON + text) into this directory")
+	whatifSpec := flag.String("whatif", "", "replay each plan against a perturbation (e.g. \"microbatches=32,internode-bw=x4\") and print the latency diff")
+	diffSpec := flag.String("diff", "", "compare two report files (\"base.json,scenario.json\"), print the diff, and exit")
 	flag.Parse()
+
+	if *diffSpec != "" {
+		if err := runDiff(*diffSpec); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	whatif, err := planner.ParsePerturbation(*whatifSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *reportDir != "" {
+		if err := os.MkdirAll(*reportDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	var p experiments.Preset
 	switch *presetName {
@@ -112,7 +145,7 @@ func main() {
 			DriftThresholdPct: *driftMRE, Metrics: reg, Log: progressLg,
 		})
 	}
-	if sink != nil || tb != nil || reg != nil || prof != nil {
+	if sink != nil || tb != nil || reg != nil || prof != nil || *reportDir != "" || *whatifSpec != "" {
 		p.Obs = &obs.Observer{Metrics: reg, Events: sink, Trace: tb, Prof: prof, Acc: acc, Flight: fr, Ctx: tc}
 	}
 	progress := progressLg.Writer()
@@ -151,6 +184,16 @@ func main() {
 		}
 		runs := experiments.RunFig10(p, b, progress)
 		fmt.Fprintln(w, experiments.RenderFig10(b.Name, runs))
+		if *reportDir != "" {
+			if err := saveReports(*reportDir, b.Name, runs); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if !whatif.IsZero() {
+			if err := runWhatIf(w, p, b, runs, whatif, *reportDir); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 
 	acc.EmitTo(sink)
@@ -168,4 +211,87 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// slug renders a benchmark or version name as a filename component.
+func slug(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+// saveReports writes each feasible run's provenance report to dir as
+// <bench>-<version>.json (canonical, byte-identical per seed) and
+// <bench>-<version>.txt (human rendering).
+func saveReports(dir, bench string, runs []experiments.PlanRun) error {
+	for _, r := range runs {
+		if r.Report == nil {
+			continue
+		}
+		base := filepath.Join(dir, slug(bench)+"-"+slug(r.Version))
+		if err := r.Report.SaveFile(base + ".json"); err != nil {
+			return err
+		}
+		if err := os.WriteFile(base+".txt", []byte(r.Report.Render()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runWhatIf replays every feasible plan against the perturbation and prints
+// the per-stage/total latency diff; scenario reports also land in reportDir
+// (as *-whatif.json) when -report is set.
+func runWhatIf(w io.Writer, p experiments.Preset, b experiments.Benchmark, runs []experiments.PlanRun, pt planner.Perturbation, reportDir string) error {
+	mdl, _ := experiments.Fig10Model(p, b)
+	platform := cluster.Platform2()
+	fmt.Fprintf(w, "what-if scenario: %s (%s benchmark)\n", pt.String(), b.Name)
+	for _, r := range runs {
+		if !r.OK || r.Report == nil {
+			continue
+		}
+		scen, ok := planner.WhatIf(mdl, platform, r.Plan, p.Microbatches, pt, planner.ReportOptions{
+			Version:    r.Version,
+			TraceID:    r.Report.TraceID,
+			Provenance: r.Report.Provenance,
+		})
+		if !ok {
+			fmt.Fprintf(w, "[%s] plan infeasible under scenario %s\n", r.Version, pt.String())
+			continue
+		}
+		fmt.Fprintf(w, "[%s]\n%s", r.Version, planner.Diff(r.Report, scen).Render())
+		if reportDir != "" {
+			path := filepath.Join(reportDir, slug(b.Name)+"-"+slug(r.Version)+"-whatif.json")
+			if err := scen.SaveFile(path); err != nil {
+				return err
+			}
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// runDiff loads two report files and prints their side-by-side diff.
+func runDiff(spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-diff wants \"base.json,scenario.json\", got %q", spec)
+	}
+	base, err := planner.LoadReport(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return err
+	}
+	scen, err := planner.LoadReport(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return err
+	}
+	fmt.Print(planner.Diff(base, scen).Render())
+	return nil
 }

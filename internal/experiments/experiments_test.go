@@ -204,6 +204,39 @@ func TestRunFig10EndToEnd(t *testing.T) {
 		if r.OptimizeSeconds <= 0 || r.IterationLatency <= 0 {
 			t.Fatalf("%s: zero cost or latency", r.Version)
 		}
+		if r.Plan.NumStages() != r.Stages || len(r.Plan.StageEst) != r.Stages {
+			t.Fatalf("%s: run plan incomplete: %+v", r.Version, r.Plan)
+		}
+		// Every feasible run carries a provenance report consistent with the
+		// run's own numbers.
+		if r.Report == nil {
+			t.Fatalf("%s: no report", r.Version)
+		}
+		if r.Report.Version != r.Version || len(r.Report.Stages) != r.Stages {
+			t.Fatalf("%s: report mismatch: %+v", r.Version, r.Report)
+		}
+		if r.Report.Pipeline.Total != r.IterationLatency {
+			t.Fatalf("%s: report total %v != run latency %v",
+				r.Version, r.Report.Pipeline.Total, r.IterationLatency)
+		}
+		if r.Report.LatencySource != "simulator" {
+			t.Fatalf("%s: latency source %q", r.Version, r.Report.LatencySource)
+		}
+		if s := r.Report.Search; s == nil || s.LatencyLookups == 0 || s.TmaxCandidates == 0 {
+			t.Fatalf("%s: search stats missing: %+v", r.Version, s)
+		}
+		if c := r.Report.Cost; c == nil || c.TotalSeconds != r.OptimizeSeconds {
+			t.Fatalf("%s: cost block missing or wrong: %+v", r.Version, c)
+		}
+		if r.Report.Provenance.Source != r.Version {
+			t.Fatalf("%s: provenance source %q", r.Version, r.Report.Provenance.Source)
+		}
+		if strings.HasPrefix(r.Version, "PredTOP") {
+			pv := r.Report.Provenance
+			if len(pv.Fingerprint) != 16 || pv.Predictors == 0 || pv.Seed != p.Seed {
+				t.Fatalf("%s: predictor provenance incomplete: %+v", r.Version, pv)
+			}
+		}
 		switch r.Version {
 		case "Alpa-Full":
 			full = r

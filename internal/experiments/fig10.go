@@ -23,16 +23,19 @@ type PlanRun struct {
 	IterationLatency float64 // ground-truth Eqn-4 latency of the plan
 	Stages           int
 	OK               bool
+	// Plan is the winning plan itself (zero when !OK) — the input to
+	// planner.WhatIf replays.
+	Plan planner.Plan
+	// Report is the plan's provenance report (nil when !OK), attached to the
+	// plan_run JSONL record and written out by predtop-plan -report.
+	Report *planner.Report
 }
 
-// RunFig10 reproduces the Fig-10 use case for one benchmark on Platform 2:
-// vanilla Alpa with full and partial profiling versus PredTOP with DAG
-// Transformer, GCN, and GAT predictors.
-func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
-	if log == nil {
-		log = io.Discard
-	}
-	platform := cluster.Platform2()
+// Fig10Model builds the benchmark model exactly as RunFig10 plans it —
+// applying the preset's Fig-10 layer overrides — and returns it with the
+// planner's max stage length. Exported so what-if replays in cmd/predtop-plan
+// evaluate cached plans against the same model the planner saw.
+func Fig10Model(p Preset, bench Benchmark) (*models.Model, int) {
 	cfg := bench.Config
 	maxLen := p.PlanMaxLenGPT
 	if bench.Name == "MoE" {
@@ -43,29 +46,44 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 	} else if p.Fig10GPTLayers > 0 {
 		cfg.Layers = p.Fig10GPTLayers
 	}
-	mdl := models.Build(cfg)
+	return models.Build(cfg), maxLen
+}
+
+// RunFig10 reproduces the Fig-10 use case for one benchmark on Platform 2:
+// vanilla Alpa with full and partial profiling versus PredTOP with DAG
+// Transformer, GCN, and GAT predictors.
+func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
+	if log == nil {
+		log = io.Discard
+	}
+	platform := cluster.Platform2()
+	mdl, maxLen := Fig10Model(p, bench)
 	mdl.Prof = p.Obs.Profiler()
 	prof := sim.DefaultProfiler()
 	prof.Metrics = p.Obs.Registry()
 	opts := planner.Options{Microbatches: p.Microbatches, MaxStageLen: maxLen,
 		Metrics: p.Obs.Registry(), Prof: p.Obs.Profiler()}
 
-	// Each planner version owns its latency source and cost meter, so the
-	// five runs are independent and execute concurrently (p.Workers bound);
-	// per-run log lines are buffered and emitted in version order.
+	// Each planner version owns its latency source, cost meter, and
+	// provenance, so the five runs are independent and execute concurrently
+	// (p.Workers bound); per-run log lines are buffered and emitted in
+	// version order.
 	type runSpec struct {
 		version string
 		latFn   planner.LatencyFn
 		meter   *planner.Meter
+		info    planner.ProviderInfo
 	}
 	var specs []runSpec
 	{
 		meter := &planner.Meter{}
-		specs = append(specs, runSpec{"Alpa-Full", planner.FullProfiling(mdl, prof, meter), meter})
+		specs = append(specs, runSpec{"Alpa-Full", planner.FullProfiling(mdl, prof, meter), meter,
+			planner.ProviderInfo{Source: "Alpa-Full"}})
 	}
 	{
 		meter := &planner.Meter{}
-		specs = append(specs, runSpec{"Alpa-Partial", planner.PartialProfiling(mdl, prof, meter, p.PartialAlpha), meter})
+		specs = append(specs, runSpec{"Alpa-Partial", planner.PartialProfiling(mdl, prof, meter, p.PartialAlpha), meter,
+			planner.ProviderInfo{Source: "Alpa-Partial"}})
 	}
 	// Predictor training inside the planner reports to the same observer as
 	// everything else (hooks only observe, so plans are unchanged).
@@ -73,6 +91,7 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 	planTrain.Hooks = &predictor.TrainHooks{Metrics: p.Obs.Registry(), Profiler: p.Obs.Profiler(), Flight: p.Obs.Recorder()}
 	for _, kind := range []planner.PredictorKind{planner.KindGCN, planner.KindGAT, planner.KindTransformer} {
 		meter := &planner.Meter{}
+		var info planner.ProviderInfo
 		latFn := planner.TrainPredictorProvider(mdl, platform, planner.PredictorOptions{
 			Kind:        kind,
 			SampleFrac:  p.PredSampleFrac,
@@ -83,8 +102,18 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 			GAT:         p.GAT,
 			Seed:        p.Seed,
 			Acc:         p.Obs.Accuracy(),
+			Info:        &info,
 		}, prof, meter)
-		specs = append(specs, runSpec{kind.String(), latFn, meter})
+		specs = append(specs, runSpec{kind.String(), latFn, meter, info})
+	}
+
+	// Trace-context children are minted serially here: the trace-wide span
+	// counter would otherwise make ids depend on goroutine scheduling.
+	ctxs := make([]*planner.Options, len(specs))
+	for i, sp := range specs {
+		o := opts
+		o.Ctx = p.Obs.TraceContext().Child(fmt.Sprintf("fig10 %s %s", bench.Name, sp.version))
+		ctxs[i] = &o
 	}
 
 	out := make([]PlanRun, len(specs))
@@ -94,16 +123,29 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 		sp := specs[i]
 		track := fmt.Sprintf("fig10 %s %s", bench.Name, sp.version)
 		latFn := planner.InstrumentLatencyFn(sp.latFn, p.Obs.Registry())
+		runOpts := *ctxs[i]
+		var stats planner.SearchStats
+		runOpts.Stats = &stats
 		optSpan := p.Obs.Tracer().Begin(track, "optimize")
-		plan, ok := planner.Optimize(mdl.NumSegments(), platform, latFn, opts)
+		plan, ok := planner.Optimize(mdl.NumSegments(), platform, latFn, runOpts)
 		optSpan.End()
 		run := PlanRun{Version: sp.version, Meter: *sp.meter, OptimizeSeconds: sp.meter.Total(), OK: ok}
 		if ok {
+			run.Plan = plan
 			run.Stages = plan.NumStages()
 			evalSpan := p.Obs.Tracer().Begin(track, "evaluate")
 			if lats, evalOK := planner.StageLatencies(mdl, plan); evalOK {
 				run.IterationLatency = pipeline.Latency(lats, p.Microbatches)
 				stageLats[i] = lats
+				run.Report = planner.BuildReport(mdl, platform, plan, planner.ReportOptions{
+					Version:      sp.version,
+					TraceID:      runOpts.Ctx.TraceID(),
+					Microbatches: p.Microbatches,
+					Provenance:   sp.info,
+					Search:       &stats,
+					Meter:        sp.meter,
+					StageLats:    lats,
+				})
 			} else {
 				run.OK = false
 			}
@@ -118,6 +160,7 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 	for i, line := range logs {
 		io.WriteString(log, line)
 		r := out[i]
+		specs[i].meter.PublishMetrics(p.Obs.Registry(), r.Version)
 		p.Obs.Sink().Emit(planRunRecord{
 			Event: "plan_run", Bench: bench.Name, Version: r.Version,
 			OptimizeSeconds: r.OptimizeSeconds, ProfileSeconds: r.Meter.ProfileSeconds,
@@ -125,6 +168,7 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 			StagesProfiled: r.Meter.StagesProfiled,
 			CacheHits:      r.Meter.CacheHits, CacheMisses: r.Meter.CacheMisses,
 			IterationLatency: r.IterationLatency, Stages: r.Stages, OK: r.OK,
+			Report: r.Report,
 		})
 		// Render each feasible plan's simulated 1F1B schedule as its own set
 		// of trace tracks so plan shapes are comparable side by side.
@@ -139,19 +183,20 @@ func RunFig10(p Preset, bench Benchmark, log io.Writer) []PlanRun {
 
 // planRunRecord is the JSONL record emitted per Fig-10 planner run.
 type planRunRecord struct {
-	Event            string  `json:"event"`
-	Bench            string  `json:"bench"`
-	Version          string  `json:"version"`
-	OptimizeSeconds  float64 `json:"optimize_s"`
-	ProfileSeconds   float64 `json:"profile_s"`
-	TrainSeconds     float64 `json:"train_s"`
-	InferSeconds     float64 `json:"infer_s"`
-	StagesProfiled   int     `json:"stages_profiled"`
-	CacheHits        int     `json:"cache_hits"`
-	CacheMisses      int     `json:"cache_misses"`
-	IterationLatency float64 `json:"iteration_latency_s"`
-	Stages           int     `json:"stages"`
-	OK               bool    `json:"ok"`
+	Event            string          `json:"event"`
+	Bench            string          `json:"bench"`
+	Version          string          `json:"version"`
+	OptimizeSeconds  float64         `json:"optimize_s"`
+	ProfileSeconds   float64         `json:"profile_s"`
+	TrainSeconds     float64         `json:"train_s"`
+	InferSeconds     float64         `json:"infer_s"`
+	StagesProfiled   int             `json:"stages_profiled"`
+	CacheHits        int             `json:"cache_hits"`
+	CacheMisses      int             `json:"cache_misses"`
+	IterationLatency float64         `json:"iteration_latency_s"`
+	Stages           int             `json:"stages"`
+	OK               bool            `json:"ok"`
+	Report           *planner.Report `json:"report,omitempty"`
 }
 
 // RenderFig10 prints both panels: optimization cost (10a) and the iteration

@@ -393,6 +393,18 @@ func (t Timer) Stop() float64 {
 	return s
 }
 
+// StopEx is Stop plus an exemplar: the elapsed-seconds observation carries
+// the given trace/span ids (see Histogram.ObserveEx). Zero ids degrade to
+// plain Stop; an inert timer returns 0.
+func (t Timer) StopEx(trace, span uint64) float64 {
+	if t.h == nil {
+		return 0
+	}
+	s := time.Since(t.start).Seconds()
+	t.h.ObserveEx(s, trace, span)
+	return s
+}
+
 // atomicFloat is a lock-free accumulating float64.
 type atomicFloat struct{ bits atomic.Uint64 }
 

@@ -310,6 +310,29 @@ func TestHistogramObserveEx(t *testing.T) {
 	nilH.ObserveEx(1, 1, 1) // must not panic
 }
 
+func TestTimerStopEx(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dur", []float64{10}) // everything lands in the first bucket
+	if s := h.Start().StopEx(0x1111, 0x2222); s < 0 {
+		t.Fatalf("StopEx returned %v", s)
+	}
+	m := NewRegistrySnapshotOf(r, "dur")
+	if m.Count != 1 {
+		t.Fatalf("count = %d, want 1", m.Count)
+	}
+	if len(m.Buckets) != 1 || m.Buckets[0].Exemplar == nil {
+		t.Fatalf("StopEx recorded no exemplar: %+v", m.Buckets)
+	}
+	if ex := m.Buckets[0].Exemplar; ex.TraceID != hex16(0x1111) || ex.SpanID != hex16(0x2222) {
+		t.Fatalf("StopEx exemplar = %+v", ex)
+	}
+	// Inert timer: no histogram, no panic, zero return.
+	var nilH *Histogram
+	if s := nilH.Start().StopEx(1, 1); s != 0 {
+		t.Fatalf("inert StopEx returned %v", s)
+	}
+}
+
 // NewRegistrySnapshotOf returns the named metric from r's snapshot (test helper).
 func NewRegistrySnapshotOf(r *Registry, name string) Metric {
 	for _, m := range r.Snapshot() {

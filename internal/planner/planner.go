@@ -4,6 +4,13 @@
 // stage a submesh, and minimizes the Eqn-4 iteration latency — driven either
 // by profiled stage latencies (vanilla Alpa, full or partial profiling) or
 // by a trained latency predictor (PredTOP).
+//
+// Beyond the search itself, the package makes every planner run auditable:
+// Optimize exposes deterministic search statistics (SearchStats) and
+// predtop_planner_* metrics, BuildReport turns a plan into a provenance
+// Report (JSON + text), and WhatIf replays a cached plan against a perturbed
+// cluster without re-searching (DESIGN.md §11). All of it observes only —
+// plans are bitwise identical with telemetry on or off.
 package planner
 
 import (
@@ -11,6 +18,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"time"
 
 	"predtop/internal/cluster"
 	"predtop/internal/intraop"
@@ -29,28 +37,71 @@ type LatencyFn func(sp stage.Spec, mesh cluster.Mesh) (lat float64, ok bool)
 
 // Options configures the inter-stage search.
 type Options struct {
-	// Microbatches is B in Eqn 4 (default 16).
+	// Microbatches is B in Eqn 4 (default 16; non-positive selects the
+	// default).
 	Microbatches int
 	// MaxStageLen caps stage length in segments (0 = unbounded).
 	MaxStageLen int
 	// Metrics, when non-nil, receives search instrumentation: the
-	// planner_latency_queries / planner_pairs_feasible /
-	// planner_tmax_candidates / planner_improvements counters, the
-	// planner_best_latency gauge, and the planner_optimize_seconds
-	// histogram. Observation only — a nil registry changes nothing.
+	// predtop_planner_latency_lookups_total / _pairs_feasible_total /
+	// _pairs_infeasible_total / _tmax_candidates_total / _dp_states_total /
+	// _dp_transitions_total / _improvements_total counters, the
+	// predtop_planner_best_latency gauge, the predtop_planner_optimize_seconds
+	// histogram, and the per-depth predtop_planner_dp_depth_seconds{depth="k"}
+	// histograms. Observation only — a nil registry changes nothing.
 	Metrics *obs.Registry
 	// Prof, when non-nil, receives hierarchical spans for the search:
 	// planner.optimize → estimate (one child per (stage, mesh) pair) and
 	// dp (one folded "tmax" child across the t_max sweep). Like Metrics,
 	// a nil profiler is a zero-cost no-op and never alters the plan.
 	Prof *obs.Profiler
+	// Stats, when non-nil, is filled with the search's exploration
+	// statistics. Every field is a deterministic count derived from the
+	// inputs — never a wall-clock reading — so stats can appear in
+	// byte-identical provenance reports. Observation only.
+	Stats *SearchStats
+	// Ctx, when non-nil, stamps the predtop_planner_optimize_seconds
+	// observation with an exemplar carrying the run's trace/span ids, so a
+	// slow search in a histogram bucket links back to its trace. Observation
+	// only.
+	Ctx *obs.TraceContext
 }
 
 func (o Options) withDefaults() Options {
-	if o.Microbatches == 0 {
+	if o.Microbatches <= 0 {
 		o.Microbatches = 16
 	}
 	return o
+}
+
+// SearchStats describes what one Optimize call explored. All fields are
+// deterministic functions of the search inputs (never wall-clock or
+// scheduling order), which is what lets them ride inside byte-identical plan
+// reports; wall-time telemetry lives only in the metrics registry.
+type SearchStats struct {
+	// Segments, Meshes, and Devices echo the search space dimensions.
+	Segments int `json:"segments"`
+	Meshes   int `json:"meshes"`
+	Devices  int `json:"devices"`
+	// MaxStageLen is the effective stage-length cap the search ran with.
+	MaxStageLen int `json:"max_stage_len"`
+	// LatencyLookups counts latency-source queries; Feasible/Infeasible
+	// split them by outcome (infeasible = out of memory / unprofiled /
+	// non-positive or +Inf estimates).
+	LatencyLookups int64 `json:"latency_lookups"`
+	Feasible       int64 `json:"feasible_pairs"`
+	Infeasible     int64 `json:"infeasible_pairs"`
+	// TmaxCandidates is the number of distinct bottleneck-latency values the
+	// outer enumeration sweeps after dedup.
+	TmaxCandidates int `json:"tmax_candidates"`
+	// DPStates counts (segment, devices-remaining) cells evaluated across
+	// the whole sweep; DPTransitions counts candidate (boundary, mesh)
+	// decisions examined inside those cells.
+	DPStates      int64 `json:"dp_states"`
+	DPTransitions int64 `json:"dp_transitions"`
+	// Improvements counts how many t_max candidates improved the incumbent
+	// plan — the last improvement is the returned plan.
+	Improvements int `json:"improvements"`
 }
 
 // Plan is a complete parallelization plan: a stage partition and the submesh
@@ -58,6 +109,9 @@ func (o Options) withDefaults() Options {
 type Plan struct {
 	Stages []stage.Spec
 	Meshes []cluster.Mesh
+	// StageEst holds each stage's latency estimate from the source that
+	// drove the search, parallel to Stages.
+	StageEst []float64
 	// Est is the Eqn-4 iteration latency under the estimates that drove the
 	// search.
 	Est float64
@@ -71,14 +125,53 @@ func (p Plan) NumStages() int { return len(p.Stages) }
 // devices. It enumerates the bottleneck latency t_max over all candidate
 // stage latencies and, for each, runs a (segment, devices-remaining) DP
 // minimizing Σtᵢ subject to tᵢ ≤ t_max — Alpa's inter-op formulation.
+//
+// Degenerate input — non-positive numSegments, a platform with no devices,
+// or a nil latency source — is reported as infeasible (ok=false), never a
+// panic.
 func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (Plan, bool) {
 	opt = opt.withDefaults()
-	reg := opt.Metrics
-	searchTimer := reg.Histogram("planner_optimize_seconds", nil).Start()
-	queries := reg.Counter("planner_latency_queries")
-	feasible := reg.Counter("planner_pairs_feasible")
 	meshes := cluster.Meshes(p)
 	totalDev := p.Nodes * p.GPUsPerNode
+	if numSegments <= 0 || lat == nil || len(meshes) == 0 || totalDev <= 0 {
+		return Plan{}, false
+	}
+	reg := opt.Metrics
+	searchTimer := reg.Histogram("predtop_planner_optimize_seconds", nil).Start()
+	stopSearchTimer := func() {
+		if opt.Ctx != nil {
+			trace, span := opt.Ctx.RawIDs()
+			searchTimer.StopEx(trace, span)
+		} else {
+			searchTimer.Stop()
+		}
+	}
+
+	maxLen := opt.MaxStageLen
+	if maxLen <= 0 || maxLen > numSegments {
+		maxLen = numSegments
+	}
+	stats := SearchStats{
+		Segments: numSegments, Meshes: len(meshes), Devices: totalDev,
+		MaxStageLen: maxLen,
+	}
+	// publish flushes the deterministic stats into the caller's Stats slot
+	// and the metrics registry, at every return path.
+	publish := func() {
+		if opt.Stats != nil {
+			*opt.Stats = stats
+		}
+		if reg == nil {
+			return
+		}
+		reg.Counter("predtop_planner_latency_lookups_total").Add(stats.LatencyLookups)
+		reg.Counter("predtop_planner_pairs_feasible_total").Add(stats.Feasible)
+		reg.Counter("predtop_planner_pairs_infeasible_total").Add(stats.Infeasible)
+		reg.Counter("predtop_planner_tmax_candidates_total").Add(int64(stats.TmaxCandidates))
+		reg.Counter("predtop_planner_dp_states_total").Add(stats.DPStates)
+		reg.Counter("predtop_planner_dp_transitions_total").Add(stats.DPTransitions)
+		reg.Counter("predtop_planner_improvements_total").Add(int64(stats.Improvements))
+	}
 
 	root := opt.Prof.Start("planner.optimize")
 	defer root.End()
@@ -94,14 +187,10 @@ func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (
 	}
 	est := make(map[pairKey]float64)
 	var candidates []float64
-	maxLen := opt.MaxStageLen
-	if maxLen <= 0 || maxLen > numSegments {
-		maxLen = numSegments
-	}
 	estSpan := root.Start("estimate")
 	for _, sp := range stage.AllSpecs(numSegments, maxLen) {
 		for mi, mesh := range meshes {
-			queries.Inc()
+			stats.LatencyLookups++
 			var ps obs.Span
 			if estSpan.Enabled() {
 				ps = estSpan.Start(fmt.Sprintf("s%d:%d/m%d", sp.Lo, sp.Hi, mi))
@@ -109,15 +198,18 @@ func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (
 			t, ok := lat(sp, mesh)
 			ps.End()
 			if ok && t > 0 && !math.IsInf(t, 1) {
-				feasible.Inc()
+				stats.Feasible++
 				est[pairKey{sp.Lo, sp.Hi, mi}] = t
 				candidates = append(candidates, t)
+			} else {
+				stats.Infeasible++
 			}
 		}
 	}
 	estSpan.End()
 	if len(candidates) == 0 {
-		searchTimer.Stop()
+		publish()
+		stopSearchTimer()
 		return Plan{}, false
 	}
 	sort.Float64s(candidates)
@@ -136,12 +228,23 @@ func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (
 	}
 
 	tmaxes := dedup(candidates)
-	reg.Counter("planner_tmax_candidates").Add(int64(len(tmaxes)))
+	stats.TmaxCandidates = len(tmaxes)
+	// Per-depth wall time is metrics-only (wall-clock must never reach
+	// SearchStats); skip the time.Now calls entirely when metrics are off.
+	var depthSecs []float64
+	if reg != nil {
+		depthSecs = make([]float64, numSegments+1)
+	}
 	dpSpan := root.Start("dp")
 	for _, tmax := range tmaxes {
 		it := dpSpan.Start("tmax")
 		for k := numSegments; k >= 0; k-- {
+			var t0 time.Time
+			if depthSecs != nil {
+				t0 = time.Now()
+			}
 			for d := 0; d <= totalDev; d++ {
+				stats.DPStates++
 				if k == numSegments {
 					if d == 0 {
 						f[k][d] = 0
@@ -153,6 +256,7 @@ func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (
 				f[k][d] = math.Inf(1)
 				for hi := k + 1; hi <= numSegments && hi-k <= maxLen; hi++ {
 					for mi, mesh := range meshes {
+						stats.DPTransitions++
 						c := mesh.NumDevices()
 						if c > d {
 							continue
@@ -168,39 +272,49 @@ func Optimize(numSegments int, p cluster.Platform, lat LatencyFn, opt Options) (
 					}
 				}
 			}
+			if depthSecs != nil {
+				depthSecs[k] += time.Since(t0).Seconds()
+			}
 		}
 		if sum := f[0][totalDev]; !math.IsInf(sum, 1) {
 			total := sum + B*tmax
 			if total < bestT {
 				bestT = total
-				bestPlan = reconstruct(choice, meshes, numSegments, totalDev)
+				bestPlan = reconstruct(choice, meshes, numSegments, totalDev, func(lo, hi, mesh int) float64 {
+					return est[pairKey{lo, hi, mesh}]
+				})
 				bestPlan.Est = total
-				reg.Counter("planner_improvements").Inc()
+				stats.Improvements++
 			}
 		}
 		it.End()
 	}
 	dpSpan.End()
-	searchTimer.Stop()
+	for k, s := range depthSecs {
+		reg.HistogramWith("predtop_planner_dp_depth_seconds", nil,
+			obs.Label{Key: "depth", Value: strconv.Itoa(k)}).Observe(s)
+	}
+	publish()
+	stopSearchTimer()
 	if math.IsInf(bestT, 1) {
 		return Plan{}, false
 	}
-	reg.Gauge("planner_best_latency").Set(bestT)
+	reg.Gauge("predtop_planner_best_latency").Set(bestT)
 	return bestPlan, true
 }
 
 // InstrumentLatencyFn wraps a latency source so every planner query is
-// counted and timed: the planner_predict_seconds histogram records
-// per-stage estimation latency, planner_predict_total and
-// planner_predict_infeasible count outcomes. A nil registry returns lat
-// unchanged; the wrapper observes only and never alters results.
+// counted and timed: the predtop_planner_predict_seconds histogram records
+// per-stage estimation latency, predtop_planner_predict_total and
+// predtop_planner_predict_infeasible_total count outcomes. A nil registry
+// returns lat unchanged; the wrapper observes only and never alters results.
 func InstrumentLatencyFn(lat LatencyFn, reg *obs.Registry) LatencyFn {
-	if reg == nil {
+	if reg == nil || lat == nil {
 		return lat
 	}
-	hist := reg.Histogram("planner_predict_seconds", nil)
-	total := reg.Counter("planner_predict_total")
-	infeasible := reg.Counter("planner_predict_infeasible")
+	hist := reg.Histogram("predtop_planner_predict_seconds", nil)
+	total := reg.Counter("predtop_planner_predict_total")
+	infeasible := reg.Counter("predtop_planner_predict_infeasible_total")
 	return func(sp stage.Spec, mesh cluster.Mesh) (float64, bool) {
 		tm := hist.Start()
 		t, ok := lat(sp, mesh)
@@ -223,13 +337,14 @@ func dedup(sorted []float64) []float64 {
 	return out
 }
 
-func reconstruct(choice [][]choicem, meshes []cluster.Mesh, numSegments, totalDev int) Plan {
+func reconstruct(choice [][]choicem, meshes []cluster.Mesh, numSegments, totalDev int, est func(lo, hi, mesh int) float64) Plan {
 	var plan Plan
 	k, d := 0, totalDev
 	for k < numSegments {
 		c := choice[k][d]
 		plan.Stages = append(plan.Stages, stage.Spec{Lo: k, Hi: c.hi})
 		plan.Meshes = append(plan.Meshes, meshes[c.mesh])
+		plan.StageEst = append(plan.StageEst, est(k, c.hi, c.mesh))
 		d -= meshes[c.mesh].NumDevices()
 		k = c.hi
 	}

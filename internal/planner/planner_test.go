@@ -310,13 +310,55 @@ func TestDedup(t *testing.T) {
 	}
 }
 
-func TestSortInts(t *testing.T) {
-	a := []int{5, 2, 9, 1, 2}
-	sortInts(a)
-	for i := 1; i < len(a); i++ {
-		if a[i] < a[i-1] {
-			t.Fatalf("not sorted: %v", a)
+// TestRandomPlanBoundsSorted is the regression guard for replacing the
+// hand-rolled insertion sort with sort.Ints: random plans must still emit
+// strictly increasing contiguous stage bounds.
+func TestRandomPlanBoundsSorted(t *testing.T) {
+	mdl := tinyModel()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		plan := RandomPlan(mdl, cluster.Platform2(), rng)
+		at := 0
+		for _, sp := range plan.Stages {
+			if sp.Lo != at || sp.Hi <= sp.Lo {
+				t.Fatalf("bounds not sorted/contiguous: %+v", plan.Stages)
+			}
+			at = sp.Hi
 		}
+		if at != mdl.NumSegments() {
+			t.Fatalf("plan does not cover the model: %+v", plan.Stages)
+		}
+	}
+}
+
+// TestOptimizeValidatesInput: degenerate input must come back infeasible,
+// never panic.
+func TestOptimizeValidatesInput(t *testing.T) {
+	valid := cluster.Platform1()
+	cases := []struct {
+		name     string
+		segments int
+		platform cluster.Platform
+		lat      LatencyFn
+	}{
+		{"zero segments", 0, valid, syntheticLatency},
+		{"negative segments", -3, valid, syntheticLatency},
+		{"nil latency fn", 4, valid, nil},
+		{"empty platform", 4, cluster.Platform{}, syntheticLatency},
+		{"zero gpus per node", 4, cluster.Platform{Nodes: 2}, syntheticLatency},
+		{"negative devices", 4, cluster.Platform{Nodes: -1, GPUsPerNode: 2}, syntheticLatency},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stats SearchStats
+			plan, ok := Optimize(tc.segments, tc.platform, tc.lat, Options{Stats: &stats})
+			if ok {
+				t.Fatalf("got a plan from degenerate input: %+v", plan)
+			}
+			if len(plan.Stages) != 0 {
+				t.Fatalf("infeasible result carries stages: %+v", plan)
+			}
+		})
 	}
 }
 
@@ -359,5 +401,85 @@ func TestOptimizeProfiledIdenticalPlan(t *testing.T) {
 		if !strings.Contains(tree, want+" ") {
 			t.Fatalf("planner profile missing %q:\n%s", want, tree)
 		}
+	}
+}
+
+// TestOptimizeReportedIdenticalPlan is the reported-plan row of the
+// determinism table: running the search with the full observation stack
+// (metrics registry, span profiler, search stats, trace context) must yield
+// a plan bitwise identical — stages, meshes, Est, and every StageEst — to a
+// bare run, and the search stats must tally with the exploration the bare
+// run implies.
+func TestOptimizeReportedIdenticalPlan(t *testing.T) {
+	p := cluster.Platform2()
+	ref, ok := Optimize(6, p, syntheticLatency, Options{Microbatches: 8})
+	if !ok {
+		t.Fatal("no reference plan")
+	}
+
+	reg := obs.NewRegistry()
+	var stats SearchStats
+	ctx := obs.NewTraceContext(42, "planner-test")
+	got, ok := Optimize(6, p, syntheticLatency, Options{
+		Microbatches: 8,
+		Metrics:      reg,
+		Prof:         obs.NewProfiler(),
+		Stats:        &stats,
+		Ctx:          ctx,
+	})
+	if !ok {
+		t.Fatal("no observed plan")
+	}
+	if math.Float64bits(got.Est) != math.Float64bits(ref.Est) {
+		t.Fatalf("telemetry changed Est: %v vs %v", got.Est, ref.Est)
+	}
+	if len(got.Stages) != len(ref.Stages) || len(got.StageEst) != len(ref.StageEst) {
+		t.Fatalf("telemetry changed plan shape: %+v vs %+v", got, ref)
+	}
+	for i := range ref.Stages {
+		if got.Stages[i] != ref.Stages[i] ||
+			got.Meshes[i].Index != ref.Meshes[i].Index ||
+			got.Meshes[i].Nodes != ref.Meshes[i].Nodes ||
+			got.Meshes[i].GPUsPerNode != ref.Meshes[i].GPUsPerNode {
+			t.Fatalf("telemetry changed stage %d", i)
+		}
+		if math.Float64bits(got.StageEst[i]) != math.Float64bits(ref.StageEst[i]) {
+			t.Fatalf("telemetry changed StageEst[%d]: %v vs %v", i, got.StageEst[i], ref.StageEst[i])
+		}
+	}
+	// StageEst must decompose the reported Est: Σ StageEst + (B−1)·max.
+	sum, max := 0.0, 0.0
+	for _, e := range got.StageEst {
+		sum += e
+		if e > max {
+			max = e
+		}
+	}
+	if diff := math.Abs(sum + 7*max - got.Est); diff > 1e-9*got.Est {
+		t.Fatalf("StageEst does not decompose Est: Σ=%v max=%v Est=%v", sum, max, got.Est)
+	}
+
+	// Search stats must be internally consistent and mirrored to metrics.
+	if stats.Segments != 6 || stats.Meshes != 3 || stats.Devices != 4 {
+		t.Fatalf("wrong search dimensions: %+v", stats)
+	}
+	if stats.LatencyLookups != stats.Feasible+stats.Infeasible || stats.LatencyLookups == 0 {
+		t.Fatalf("lookup tallies inconsistent: %+v", stats)
+	}
+	if stats.TmaxCandidates == 0 || stats.DPStates == 0 || stats.DPTransitions == 0 || stats.Improvements == 0 {
+		t.Fatalf("search stats empty: %+v", stats)
+	}
+	snap := map[string]float64{}
+	for _, m := range reg.Snapshot() {
+		snap[m.Name] = m.Value
+	}
+	if got := snap["predtop_planner_latency_lookups_total"]; got != float64(stats.LatencyLookups) {
+		t.Fatalf("metric lookup count %v != stats %d", got, stats.LatencyLookups)
+	}
+	if got := snap["predtop_planner_dp_states_total"]; got != float64(stats.DPStates) {
+		t.Fatalf("metric dp states %v != stats %d", got, stats.DPStates)
+	}
+	if snap["predtop_planner_best_latency"] != ref.Est {
+		t.Fatalf("best latency gauge %v != %v", snap["predtop_planner_best_latency"], ref.Est)
 	}
 }

@@ -1,7 +1,9 @@
 package planner
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 	"time"
@@ -40,10 +42,52 @@ type Meter struct {
 	// much the planner's repeated (stage, mesh) queries amortize.
 	CacheHits   int
 	CacheMisses int
+	// EncHits/EncMisses count stage-encoding LRU lookups inside
+	// TrainPredictorProvider (a miss re-runs the graph encoder), and
+	// EncEntries is the cache's final population. All zero for
+	// profiling-based providers, which never encode.
+	EncHits    int
+	EncMisses  int
+	EncEntries int
 }
 
 // Total returns the end-to-end optimization cost in simulated seconds.
 func (m *Meter) Total() float64 { return m.ProfileSeconds + m.TrainSeconds + m.InferSeconds }
+
+// PublishMetrics exports the meter's counters as labeled predtop_planner_*
+// series on reg, tagged with the latency-source version they belong to
+// (e.g. "Alpa-Full", "PredTOP-Tran"). Cache traffic lands on
+// predtop_planner_cache_hits_total / _misses_total with a cache label
+// ("latency" for the memoized lookup table, "encoding" for the
+// stage-encoding LRU), the encoding cache's population on
+// predtop_planner_cache_entries, and the simulated cost components on
+// predtop_planner_cost_seconds{component=...}. Counters add (a meter is
+// published once per run); no-op on a nil registry or meter.
+func (m *Meter) PublishMetrics(reg *obs.Registry, version string) {
+	if m == nil || reg == nil {
+		return
+	}
+	ver := obs.Label{Key: "version", Value: version}
+	latency := obs.Label{Key: "cache", Value: "latency"}
+	encoding := obs.Label{Key: "cache", Value: "encoding"}
+	reg.CounterWith("predtop_planner_cache_hits_total", latency, ver).Add(int64(m.CacheHits))
+	reg.CounterWith("predtop_planner_cache_misses_total", latency, ver).Add(int64(m.CacheMisses))
+	reg.CounterWith("predtop_planner_cache_hits_total", encoding, ver).Add(int64(m.EncHits))
+	reg.CounterWith("predtop_planner_cache_misses_total", encoding, ver).Add(int64(m.EncMisses))
+	reg.GaugeWith("predtop_planner_cache_entries", encoding, ver).Set(float64(m.EncEntries))
+	for _, c := range []struct {
+		component string
+		seconds   float64
+	}{
+		{"profile", m.ProfileSeconds},
+		{"train", m.TrainSeconds},
+		{"infer", m.InferSeconds},
+	} {
+		reg.GaugeWith("predtop_planner_cost_seconds",
+			obs.Label{Key: "component", Value: c.component}, ver).Set(c.seconds)
+	}
+	reg.CounterWith("predtop_planner_stages_profiled_total", ver).Add(int64(m.StagesProfiled))
+}
 
 // Simulated per-graph costs of running the predictor on the platform's own
 // hardware (the paper trains PredTOP on the same machines it profiles on):
@@ -145,6 +189,45 @@ func (k PredictorKind) NewModel(rng *rand.Rand, tran graphnn.TransformerConfig, 
 	}
 }
 
+// ProviderInfo identifies the latency source a plan came from — the
+// provenance block of a plan report. For predictor-backed sources the
+// Fingerprint pins the exact trained weights (FNV-1a over every parameter
+// tensor plus the scale, in cluster.Scenarios order), so two reports with
+// equal fingerprints were produced by bitwise-identical predictors.
+type ProviderInfo struct {
+	// Source names the latency source ("Alpa-Full", "Alpa-Partial", or a
+	// PredictorKind string for PredTOP versions).
+	Source string `json:"source"`
+	// Kind is the predictor architecture ("PredTOP-Tran", ...); empty for
+	// profiling-based sources.
+	Kind string `json:"kind,omitempty"`
+	// Seed is the predictor training seed (omitted for profiling sources).
+	Seed int64 `json:"seed,omitempty"`
+	// Fingerprint is the 16-hex-digit weight hash described above.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Predictors counts the per-(mesh, configuration) models trained.
+	Predictors int `json:"predictors,omitempty"`
+	// SampleFrac is the fraction of the stage universe profiled for
+	// training data.
+	SampleFrac float64 `json:"sample_frac,omitempty"`
+}
+
+// fingerprintTrained folds one trained predictor's identity into an FNV-1a
+// hash: its output scale followed by every parameter tensor's raw float64
+// bits, in the model's canonical Params order.
+func fingerprintTrained(h interface{ Write([]byte) (int, error) }, tr predictor.Trained) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(tr.Scale))
+	h.Write(buf[:])
+	for _, p := range tr.Model.Params() {
+		h.Write([]byte(p.Name))
+		for _, v := range p.V.Data {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+}
+
 // PredictorOptions configures PredTOP's profiling-sample/training trade-off.
 type PredictorOptions struct {
 	Kind PredictorKind
@@ -163,6 +246,10 @@ type PredictorOptions struct {
 	// mesh shape, so planner-side prediction quality is monitored online.
 	// Observation only: estimates and plans are unchanged by it.
 	Acc *obs.AccuracyMonitor
+	// Info, when non-nil, is filled by TrainPredictorProvider with the
+	// provenance of the trained predictors (kind, seed, weight fingerprint)
+	// for inclusion in plan reports. Observation only.
+	Info *ProviderInfo
 }
 
 // TrainPredictorProvider implements PredTOP's workflow (§VI): profile a
@@ -217,6 +304,26 @@ func TrainPredictorProvider(mdl *models.Model, p cluster.Platform, opt Predictor
 		}
 	}
 
+	if opt.Info != nil {
+		// Fingerprint the trained weights in cluster.Scenarios order (the
+		// map's own iteration order is randomized) so equal training runs
+		// yield equal fingerprints.
+		h := fnv.New64a()
+		for _, sc := range cluster.Scenarios(p) {
+			if tr, ok := trained[scKey{sc.Mesh.Index, sc.Config.Index}]; ok {
+				fingerprintTrained(h, tr)
+			}
+		}
+		*opt.Info = ProviderInfo{
+			Source:      opt.Kind.String(),
+			Kind:        opt.Kind.String(),
+			Seed:        opt.Seed,
+			Fingerprint: fmt.Sprintf("%016x", h.Sum64()),
+			Predictors:  len(trained),
+			SampleFrac:  opt.SampleFrac,
+		}
+	}
+
 	type pairKey struct{ lo, hi, mesh int }
 	memo := map[pairKey]float64{}
 	// Stage encodings depend only on the spec, not the mesh or config, so
@@ -233,7 +340,13 @@ func TrainPredictorProvider(mdl *models.Model, p cluster.Platform, opt Predictor
 		meter.CacheMisses++
 		start := time.Now()
 		g := mdl.StageGraph(sp.Lo, sp.Hi, true)
-		encoded, _ := encCache.GetOrCompute(sp, func() *stage.Encoded { return enc.Encode(sp) })
+		encoded, cached := encCache.GetOrCompute(sp, func() *stage.Encoded { return enc.Encode(sp) })
+		if cached {
+			meter.EncHits++
+		} else {
+			meter.EncMisses++
+		}
+		meter.EncEntries = encCache.Len()
 		best := math.Inf(1)
 		for _, conf := range cluster.ConfigsFor(mesh) {
 			tr, ok := trained[scKey{mesh.Index, conf.Index}]

@@ -2,6 +2,7 @@ package planner
 
 import (
 	"math/rand"
+	"sort"
 
 	"predtop/internal/cluster"
 	"predtop/internal/intraop"
@@ -53,7 +54,7 @@ func RandomPlan(mdl *models.Model, p cluster.Platform, rng *rand.Rand) Plan {
 		cuts := rng.Perm(L - 1)[:s-1]
 		bounds := append([]int{0}, cuts...)
 		bounds = append(bounds, L)
-		sortInts(bounds)
+		sort.Ints(bounds)
 		ok := true
 		var plan Plan
 		for i := 0; i < s; i++ {
@@ -66,14 +67,6 @@ func RandomPlan(mdl *models.Model, p cluster.Platform, rng *rand.Rand) Plan {
 		}
 		if ok {
 			return plan
-		}
-	}
-}
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
 		}
 	}
 }

@@ -1,0 +1,194 @@
+package planner
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"predtop/internal/cluster"
+	"predtop/internal/pipeline"
+)
+
+// TestWhatIfUnperturbedBitwise is the what-if determinism property: replaying
+// a plan against the unperturbed platform must reproduce the plan's
+// simulator-exact evaluation bitwise — per stage and in the Eqn-4 total —
+// for the zero perturbation, all-identity scale factors, and an explicit
+// same-microbatch override alike.
+func TestWhatIfUnperturbedBitwise(t *testing.T) {
+	mdl := tinyModel()
+	p := cluster.Platform1()
+	const B = 8
+	plan, ok := Optimize(mdl.NumSegments(), p, TrueLatency(mdl), Options{Microbatches: B})
+	if !ok {
+		t.Fatal("no plan")
+	}
+	wantLats, ok := StageLatencies(mdl, plan)
+	if !ok {
+		t.Fatal("baseline evaluation infeasible")
+	}
+	wantTotal := pipeline.Latency(wantLats, B)
+
+	cases := []struct {
+		name string
+		pt   Perturbation
+	}{
+		{"zero perturbation", Perturbation{}},
+		{"identity scales", Perturbation{IntraNodeBW: 1, InterNodeBW: 1, InterNodeLatency: 1}},
+		{"same microbatches", Perturbation{Microbatches: B}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, ok := WhatIf(mdl, p, plan, B, tc.pt, ReportOptions{})
+			if !ok {
+				t.Fatal("what-if infeasible on unperturbed platform")
+			}
+			for i, s := range r.Stages {
+				if math.Float64bits(s.Latency) != math.Float64bits(wantLats[i]) {
+					t.Fatalf("stage %d latency %v != baseline %v", i, s.Latency, wantLats[i])
+				}
+			}
+			if math.Float64bits(r.Pipeline.Total) != math.Float64bits(wantTotal) {
+				t.Fatalf("what-if total %v != baseline %v", r.Pipeline.Total, wantTotal)
+			}
+		})
+	}
+}
+
+func TestWhatIfMicrobatchOverride(t *testing.T) {
+	mdl := tinyModel()
+	p := cluster.Platform1()
+	plan, ok := Optimize(mdl.NumSegments(), p, TrueLatency(mdl), Options{Microbatches: 8})
+	if !ok {
+		t.Fatal("no plan")
+	}
+	lats, _ := StageLatencies(mdl, plan)
+	r, ok := WhatIf(mdl, p, plan, 8, Perturbation{Microbatches: 16}, ReportOptions{})
+	if !ok {
+		t.Fatal("what-if failed")
+	}
+	want := pipeline.Latency(lats, 16)
+	if math.Float64bits(r.Pipeline.Total) != math.Float64bits(want) {
+		t.Fatalf("doubled-B total %v != %v", r.Pipeline.Total, want)
+	}
+	if r.Microbatches != 16 || r.Scenario != "microbatches=16" {
+		t.Fatalf("scenario header wrong: %+v", r)
+	}
+}
+
+// TestWhatIfBandwidthMonotone: scaling the interconnects up can only help
+// (or leave unchanged) every stage.
+func TestWhatIfBandwidthMonotone(t *testing.T) {
+	mdl := tinyModel()
+	p := cluster.Platform2()
+	plan, ok := Optimize(mdl.NumSegments(), p, TrueLatency(mdl), Options{Microbatches: 8})
+	if !ok {
+		t.Fatal("no plan")
+	}
+	base, ok := WhatIf(mdl, p, plan, 8, Perturbation{}, ReportOptions{})
+	if !ok {
+		t.Fatal("baseline what-if failed")
+	}
+	fast, ok := WhatIf(mdl, p, plan, 8, Perturbation{IntraNodeBW: 8, InterNodeBW: 8}, ReportOptions{})
+	if !ok {
+		t.Fatal("scaled what-if failed")
+	}
+	for i := range base.Stages {
+		if fast.Stages[i].Latency > base.Stages[i].Latency {
+			t.Fatalf("stage %d slower with 8x bandwidth: %v > %v",
+				i, fast.Stages[i].Latency, base.Stages[i].Latency)
+		}
+	}
+	if fast.Pipeline.Total > base.Pipeline.Total {
+		t.Fatalf("total slower with 8x bandwidth: %v > %v", fast.Pipeline.Total, base.Pipeline.Total)
+	}
+
+	d := Diff(base, fast)
+	if d.Delta > 0 {
+		t.Fatalf("diff delta positive: %+v", d)
+	}
+	if !strings.Contains(d.Render(), "unperturbed") {
+		t.Fatalf("baseline label missing:\n%s", d.Render())
+	}
+}
+
+// TestWhatIfPlatformSwap replays a platform-1 plan (submeshes up to 1×2) on
+// platform 2, whose slower inter-node fabric is irrelevant for intra-node
+// meshes but whose different GPU changes compute latency.
+func TestWhatIfPlatformSwap(t *testing.T) {
+	mdl := tinyModel()
+	p1 := cluster.Platform1()
+	plan, ok := Optimize(mdl.NumSegments(), p1, TrueLatency(mdl), Options{Microbatches: 8})
+	if !ok {
+		t.Fatal("no plan")
+	}
+	p2 := cluster.Platform2()
+	r, ok := WhatIf(mdl, p1, plan, 8, Perturbation{Platform: &p2}, ReportOptions{})
+	if !ok {
+		t.Fatal("platform swap infeasible")
+	}
+	if r.Platform != p2.Name {
+		t.Fatalf("report platform %q, want %q", r.Platform, p2.Name)
+	}
+	if r.Pipeline.Total <= 0 {
+		t.Fatalf("swapped plan has no latency: %+v", r.Pipeline)
+	}
+
+	// The reverse direction must fail: platform-2 plans may use 2×2 meshes
+	// that platform 1 (1 node) cannot host.
+	plan2, ok := Optimize(mdl.NumSegments(), p2, TrueLatency(mdl), Options{Microbatches: 8})
+	if !ok {
+		t.Fatal("no platform-2 plan")
+	}
+	uses2x2 := false
+	for _, m := range plan2.Meshes {
+		if m.Nodes > 1 {
+			uses2x2 = true
+		}
+	}
+	if uses2x2 {
+		if _, ok := WhatIf(mdl, p2, plan2, 8, Perturbation{Platform: &p1}, ReportOptions{}); ok {
+			t.Fatal("2-node submesh replayed onto a 1-node platform")
+		}
+	}
+}
+
+func TestParsePerturbation(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string // canonical String() of the parsed perturbation
+		wantErr bool
+	}{
+		{"", "unperturbed", false},
+		{"   ", "unperturbed", false},
+		{"microbatches=32", "microbatches=32", false},
+		{"b=4", "microbatches=4", false},
+		{"internode-bw=x4", "internode-bw=x4", false},
+		{"internode-bw=4", "internode-bw=x4", false},
+		{"platform=2,intranode-bw=2,internode-lat=x0.5", "platform=Platform2-A5500,intranode-bw=x2,internode-lat=x0.5", false},
+		{"Microbatches=8", "microbatches=8", false},
+		{"microbatches=0", "", true},
+		{"microbatches=abc", "", true},
+		{"platform=3", "", true},
+		{"internode-bw=-1", "", true},
+		{"bogus=1", "", true},
+		{"microbatches", "", true},
+	}
+	for _, tc := range cases {
+		pt, err := ParsePerturbation(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Fatalf("%q: want error, got %+v", tc.in, pt)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%q: %v", tc.in, err)
+		}
+		if got := pt.String(); got != tc.want {
+			t.Fatalf("%q parsed to %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if _, err := ParsePerturbation("bogus=1"); err == nil || !strings.Contains(err.Error(), "microbatches") {
+		t.Fatalf("unknown-key error should list valid keys: %v", err)
+	}
+}

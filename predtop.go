@@ -214,6 +214,24 @@ type (
 	PredictorOptions = planner.PredictorOptions
 	// PredictorKind selects the black-box architecture.
 	PredictorKind = planner.PredictorKind
+	// PlanSearchStats describes what one OptimizePlan call explored
+	// (deterministic counts only; see PlanOptions.Stats).
+	PlanSearchStats = planner.SearchStats
+	// PlanProviderInfo identifies a plan's latency source: kind, seed, and
+	// trained-weight fingerprint (see PredictorOptions.Info).
+	PlanProviderInfo = planner.ProviderInfo
+	// PlanReport is a plan's provenance record: per-stage latencies, mesh
+	// assignments, Eqn-4 decomposition, search stats, and predictor identity,
+	// serializable as byte-identical-per-seed JSON or /statusz-style text.
+	PlanReport = planner.Report
+	// PlanReportOptions supplies the context BuildPlanReport cannot derive
+	// from the plan itself.
+	PlanReportOptions = planner.ReportOptions
+	// PlanReportDiff is the side-by-side latency comparison of two reports.
+	PlanReportDiff = planner.ReportDiff
+	// PlanPerturbation is a what-if scenario: microbatch override, platform
+	// swap, or interconnect scale factors (see PlanWhatIf).
+	PlanPerturbation = planner.Perturbation
 )
 
 // Predictor architectures for the planner integration.
@@ -256,6 +274,35 @@ func EvaluatePlan(m *Model, plan Plan, microbatches int) (float64, bool) {
 func TrueStageLatency(m *Model, sp StageSpec, mesh Mesh) (float64, bool) {
 	return planner.TrueStageLatency(m, sp, mesh)
 }
+
+// BuildPlanReport assembles the provenance report for a plan (see
+// PlanReport). Building a report never mutates the plan.
+func BuildPlanReport(m *Model, p Platform, plan Plan, opt PlanReportOptions) *PlanReport {
+	return planner.BuildReport(m, p, plan, opt)
+}
+
+// PlanWhatIf replays a cached plan against a perturbed cluster or microbatch
+// count without re-searching, returning the scenario's report for
+// DiffPlanReports against the baseline. ok is false when a stage no longer
+// fits under the perturbation.
+func PlanWhatIf(m *Model, base Platform, plan Plan, microbatches int, pt PlanPerturbation, opt PlanReportOptions) (*PlanReport, bool) {
+	return planner.WhatIf(m, base, plan, microbatches, pt, opt)
+}
+
+// ParsePlanPerturbation parses the -whatif flag syntax ("microbatches=32,
+// internode-bw=x4"; see PlanPerturbation).
+func ParsePlanPerturbation(s string) (PlanPerturbation, error) {
+	return planner.ParsePerturbation(s)
+}
+
+// DiffPlanReports compares two plan reports stage by stage and on the Eqn-4
+// total — typically a baseline and its what-if replay.
+func DiffPlanReports(base, scenario *PlanReport) *PlanReportDiff {
+	return planner.Diff(base, scenario)
+}
+
+// LoadPlanReport reads a report previously written by PlanReport.SaveFile.
+func LoadPlanReport(path string) (*PlanReport, error) { return planner.LoadReport(path) }
 
 // Observability API (internal/obs): optional metrics, JSONL event records,
 // and Chrome-trace export. Every handle is nil-safe — a nil registry, sink,

@@ -3,6 +3,7 @@ package predtop
 import (
 	"bytes"
 	"math/rand"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -109,6 +110,56 @@ func TestFacadePlannerEndToEnd(t *testing.T) {
 	}
 	if _, ok := TrueStageLatency(m, StageSpec{Lo: 0, Hi: 2}, Meshes(p)[0]); !ok {
 		t.Fatal("true stage latency failed")
+	}
+}
+
+func TestFacadePlanReportAndWhatIf(t *testing.T) {
+	m := BuildModel(tinyGPT())
+	p := Platform1()
+	meter := &CostMeter{}
+	var stats PlanSearchStats
+	plan, ok := OptimizePlan(m.NumSegments(), p,
+		FullProfiling(m, DefaultProfiler(), meter),
+		PlanOptions{Microbatches: 4, Stats: &stats})
+	if !ok {
+		t.Fatal("no plan")
+	}
+	if stats.LatencyLookups == 0 || stats.TmaxCandidates == 0 {
+		t.Fatalf("search stats empty: %+v", stats)
+	}
+	report := BuildPlanReport(m, p, plan, PlanReportOptions{
+		Version: "Alpa-Full", Microbatches: 4, Search: &stats, Meter: meter,
+		Provenance: PlanProviderInfo{Source: "Alpa-Full"},
+	})
+	if len(report.Stages) != plan.NumStages() || report.Pipeline.Total <= 0 {
+		t.Fatalf("report incomplete: %+v", report)
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := report.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPlanReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Pipeline.Total != report.Pipeline.Total {
+		t.Fatal("report did not round-trip")
+	}
+
+	pt, err := ParsePlanPerturbation("microbatches=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen, ok := PlanWhatIf(m, p, plan, 4, pt, PlanReportOptions{Version: "Alpa-Full"})
+	if !ok {
+		t.Fatal("what-if infeasible")
+	}
+	if scen.Pipeline.Total <= report.Pipeline.Total {
+		t.Fatal("doubling microbatches must lengthen the iteration")
+	}
+	d := DiffPlanReports(report, scen)
+	if d.Delta <= 0 || !strings.Contains(d.Render(), "microbatches=8") {
+		t.Fatalf("diff wrong: %+v", d)
 	}
 }
 

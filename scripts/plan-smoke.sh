@@ -1,0 +1,65 @@
+#!/bin/sh
+# plan-smoke: build predtop-plan, run the quick-preset GPT-3 planner with
+# provenance reports and a what-if replay, then prove the observability
+# contract end to end: the what-if diff prints, the report JSON round-trips
+# through -diff, and a second identical run reproduces every report
+# byte-for-byte (reports are pure functions of the seed — no wall-clock, no
+# map-order, no scheduling dependence). Any failure fails the script, which
+# is wired into `make ci` via the plan-smoke target.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+
+cleanup() {
+    status=$?
+    rm -rf "$WORK"
+    exit $status
+}
+trap cleanup EXIT INT TERM
+
+echo "plan-smoke: building"
+$GO build -o "$WORK/predtop-plan" ./cmd/predtop-plan
+
+echo "plan-smoke: planning with reports and a what-if replay"
+"$WORK/predtop-plan" -preset quick -bench GPT-3 -quiet \
+    -report "$WORK/r1" -whatif "microbatches=32,internode-bw=x4" > "$WORK/run1.out"
+
+grep -q "what-if diff" "$WORK/run1.out" || {
+    echo "plan-smoke: no what-if diff in the output" >&2
+    exit 1
+}
+for v in alpa-full alpa-partial predtop-gcn predtop-gat predtop-tran; do
+    for f in "$WORK/r1/gpt-3-$v.json" "$WORK/r1/gpt-3-$v.txt" "$WORK/r1/gpt-3-$v-whatif.json"; do
+        if [ ! -s "$f" ]; then
+            echo "plan-smoke: missing report $f" >&2
+            exit 1
+        fi
+    done
+done
+grep -q '"fingerprint"' "$WORK/r1/gpt-3-predtop-tran.json" || {
+    echo "plan-smoke: predictor report has no weight fingerprint" >&2
+    exit 1
+}
+
+echo "plan-smoke: diffing baseline vs what-if reports"
+"$WORK/predtop-plan" \
+    -diff "$WORK/r1/gpt-3-predtop-tran.json,$WORK/r1/gpt-3-predtop-tran-whatif.json" \
+    > "$WORK/diff.out"
+grep -q "total" "$WORK/diff.out" || {
+    echo "plan-smoke: -diff printed no totals" >&2
+    exit 1
+}
+
+echo "plan-smoke: re-running for byte-identical reports"
+"$WORK/predtop-plan" -preset quick -bench GPT-3 -quiet -report "$WORK/r2" > /dev/null
+for f in "$WORK"/r1/*.json; do
+    name=$(basename "$f")
+    case "$name" in *-whatif.json) continue ;; esac
+    if ! cmp -s "$f" "$WORK/r2/$name"; then
+        echo "plan-smoke: report $name not byte-identical across runs" >&2
+        exit 1
+    fi
+done
+
+echo "plan-smoke: ok"
