@@ -65,10 +65,13 @@ bench:
 # ns/op, B/op, and allocs/op deltas against the most recent BENCH_*.json.
 # The thresholds turn the comparison into a gate: any benchmark whose
 # allocs/op grew >10% — or allocated at all from a zero-alloc baseline, which
-# pins the guarded instrumentation-off hot paths — or whose ns/op grew >10%
-# fails the target.
+# pins the guarded instrumentation-off hot paths — fails the target. The
+# ns/op gate is looser (20%) because each run is a single iteration and
+# back-to-back runs on a shared host drift by >10% from CPU contention
+# alone; allocs/op is deterministic, wall time is not. Benchmarks under
+# benchcmp's -nsfloor (10ms) are exempt from the ns gate entirely.
 bench-compare:
 	@base=$$(ls -t BENCH_*.json 2>/dev/null | head -1); \
 	if [ -z "$$base" ]; then echo "no BENCH_*.json baseline; run 'make bench' first"; exit 1; fi; \
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' -json . | \
-		$(GO) run ./cmd/predtop-benchcmp -base $$base -allocthreshold 10 -nsthreshold 10
+		$(GO) run ./cmd/predtop-benchcmp -base $$base -allocthreshold 10 -nsthreshold 20

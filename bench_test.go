@@ -17,6 +17,7 @@ import (
 
 	"predtop/internal/cluster"
 	"predtop/internal/experiments"
+	"predtop/internal/stage"
 )
 
 // benchPreset is the quick preset with a fixed seed per bench iteration.
@@ -264,6 +265,59 @@ func BenchmarkAblation(b *testing.B) {
 				b.ReportMetric(r.MRE, "full-MRE-%")
 			}
 		}
+	}
+}
+
+var (
+	benchPredictOnce    sync.Once
+	benchPredictTrained Trained
+	benchPredictPool    []*stage.Encoded
+)
+
+// benchPredictSetup trains one small DAG-Transformer predictor and encodes a
+// ragged pool of GPT-3 stage graphs, shared by every PredictBatch size.
+func benchPredictSetup() (Trained, []*stage.Encoded) {
+	benchPredictOnce.Do(func() {
+		ds, trainIdx, valIdx := benchTrainData()
+		net := NewDAGTransformer(rand.New(rand.NewSource(7)),
+			TransformerConfig{Layers: 2, Dim: 32, Heads: 2, FFNDim: 64})
+		benchPredictTrained, _ = Train(net, ds, trainIdx, valIdx, TrainConfig{
+			Epochs: 2, Patience: 2, BatchSize: 8, Seed: 1,
+		})
+		cfg := GPT3Config()
+		cfg.Layers = 8
+		enc := NewEncoder(BuildModel(cfg), true)
+		for _, sp := range []stage.Spec{{Lo: 0, Hi: 2}, {Lo: 1, Hi: 3}, {Lo: 2, Hi: 4}, {Lo: 0, Hi: 3}, {Lo: 3, Hi: 4}, {Lo: 1, Hi: 2}} {
+			benchPredictPool = append(benchPredictPool, enc.Encode(sp))
+		}
+	})
+	return benchPredictTrained, benchPredictPool
+}
+
+// BenchmarkPredictBatch measures the fused batched forward at fixed batch
+// sizes: each op predicts B ragged stage graphs through PredictEncodedBatch,
+// which pads them into one blocked panel per layer. Compare per-graph cost
+// (ns/op ÷ B) across the B=1/8/64 series for the amortization curve —
+// results are bitwise identical to B serial PredictEncoded calls at every
+// size, so this dial trades nothing but wall time.
+func BenchmarkPredictBatch(b *testing.B) {
+	trained, pool := benchPredictSetup()
+	var sink float64
+	for _, size := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("B=%d", size), func(b *testing.B) {
+			batch := make([]*stage.Encoded, size)
+			for i := range batch {
+				batch[i] = pool[i%len(pool)]
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out := trained.PredictEncodedBatch(batch, 0)
+				sink = out[0]
+			}
+		})
+	}
+	if math.IsNaN(sink) {
+		b.Fatal("NaN prediction")
 	}
 }
 

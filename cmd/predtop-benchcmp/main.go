@@ -14,7 +14,10 @@
 // the guarded zero-alloc hot paths are pinned — fails the run with exit
 // status 1 after the full report prints. -nsthreshold N (default 10) gates
 // ns/op the same way: wall-time regressions beyond N percent fail the run;
-// 0 disables the gate for noisy one-off comparisons.
+// 0 disables the gate for noisy one-off comparisons. Benchmarks whose
+// baseline op time is under -nsfloor (default 10ms) are exempt from the ns
+// gate — a single sub-floor iteration measures scheduler noise, not the
+// code — while the alloc gate still applies to them.
 package main
 
 import (
@@ -134,6 +137,8 @@ func main() {
 		"fail (exit 1) when any benchmark's allocs/op grows by more than this percentage; a zero-alloc baseline fails on any allocation (0 = off)")
 	nsThreshold := flag.Float64("nsthreshold", 10,
 		"fail (exit 1) when any benchmark's ns/op grows by more than this percentage over the baseline (0 = off)")
+	nsFloor := flag.Float64("nsfloor", 10e6,
+		"exempt benchmarks whose baseline ns/op is below this from the ns gate; single iterations this short are scheduling noise, not signal (0 = gate everything)")
 	flag.Parse()
 	if *base == "" {
 		fmt.Fprintln(os.Stderr, "usage: predtop-benchcmp -base BENCH_old.json [-new BENCH_new.json]")
@@ -178,7 +183,7 @@ func main() {
 			if r := allocRegression(*allocThreshold, b.AllocsPerOp, n.AllocsPerOp); r != "" {
 				regressions = append(regressions, fmt.Sprintf("%s: %s", name, r))
 			}
-			if r := nsRegression(*nsThreshold, b.NsPerOp, n.NsPerOp); r != "" {
+			if r := nsRegression(*nsThreshold, *nsFloor, b.NsPerOp, n.NsPerOp); r != "" {
 				regressions = append(regressions, fmt.Sprintf("%s: %s", name, r))
 			}
 		}
@@ -191,6 +196,7 @@ func main() {
 			fmt.Printf("%s: present in baseline only\n", name)
 		}
 	}
+	printBatchSeries(os.Stdout, baseRes, newRes)
 	if len(regressions) > 0 {
 		fmt.Fprintln(os.Stderr, "benchcmp: regressions beyond thresholds:")
 		for _, r := range regressions {
@@ -200,10 +206,59 @@ func main() {
 	}
 }
 
+// batchName matches one point of a per-batch-size benchmark series, e.g.
+// "BenchmarkPredictBatch/B=8".
+var batchName = regexp.MustCompile(`^(.+)/B=(\d+)$`)
+
+// printBatchSeries renders the per-batch-size amortization curve of every
+// "Foo/B=<n>" family in the new run: cost per item (ns/op ÷ B), the speedup
+// over the family's smallest batch, and the baseline per-item cost where one
+// exists. The regression gates already apply to each point individually —
+// this section only makes the scaling shape readable at a glance.
+func printBatchSeries(w io.Writer, baseRes, newRes map[string]result) {
+	type point struct {
+		b    int
+		name string
+	}
+	fams := map[string][]point{}
+	for name := range newRes {
+		if m := batchName.FindStringSubmatch(name); m != nil {
+			n, _ := strconv.Atoi(m[2])
+			fams[m[1]] = append(fams[m[1]], point{b: n, name: name})
+		}
+	}
+	famNames := make([]string, 0, len(fams))
+	for fam, pts := range fams {
+		if len(pts) >= 2 {
+			famNames = append(famNames, fam)
+		}
+	}
+	sort.Strings(famNames)
+	for _, fam := range famNames {
+		pts := fams[fam]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].b < pts[j].b })
+		fmt.Fprintf(w, "%s per-item scaling:\n", fam)
+		first := newRes[pts[0].name].NsPerOp / float64(pts[0].b)
+		for _, p := range pts {
+			per := newRes[p.name].NsPerOp / float64(p.b)
+			line := fmt.Sprintf("  B=%-4d %s ns/item", p.b, humanize(per))
+			if per > 0 {
+				line += fmt.Sprintf(" (%.2fx vs B=%d)", first/per, pts[0].b)
+			}
+			if b, ok := baseRes[p.name]; ok && b.NsPerOp > 0 {
+				line += fmt.Sprintf("  [baseline %s ns/item]", humanize(b.NsPerOp/float64(p.b)))
+			}
+			fmt.Fprintln(w, line)
+		}
+	}
+}
+
 // nsRegression reports why a benchmark fails the -nsthreshold gate, or ""
-// when it passes.
-func nsRegression(threshold, old, new float64) string {
-	if threshold <= 0 || old == 0 {
+// when it passes. Benchmarks whose baseline op time is under the floor are
+// exempt: at -benchtime=1x a sub-floor iteration's wall time is dominated
+// by scheduler and cache noise, so a percentage gate on it only flakes.
+func nsRegression(threshold, floor, old, new float64) string {
+	if threshold <= 0 || old == 0 || old < floor {
 		return ""
 	}
 	pct := (new - old) / old * 100

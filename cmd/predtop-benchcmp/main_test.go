@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseStreamSubBenchmarks: per-batch-size sub-benchmark names survive
+// parsing as distinct series with the GOMAXPROCS suffix stripped, so the
+// regression gates apply to every point of the series.
+func TestParseStreamSubBenchmarks(t *testing.T) {
+	in := strings.NewReader(`{"Action":"output","Output":"BenchmarkPredictBatch/B=1-8  \t1\t1000000 ns/op\t2048 B/op\t12 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkPredictBatch/B=8-8  \t1\t4000000 ns/op\t8192 B/op\t40 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkTableV_GPT3-8  \t1\t5320812 ns/op\t36.50 tran-MRE-%\t576120 B/op\t1221516 allocs/op\n"}`)
+	res, err := parseStream(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, ok := res["BenchmarkPredictBatch/B=1"]
+	if !ok || b1.NsPerOp != 1000000 || b1.AllocsPerOp != 12 {
+		t.Fatalf("B=1 series: %+v ok=%v", b1, ok)
+	}
+	if b8 := res["BenchmarkPredictBatch/B=8"]; b8.NsPerOp != 4000000 {
+		t.Fatalf("B=8 series: %+v", b8)
+	}
+	if tv := res["BenchmarkTableV_GPT3"]; tv.BytesPerOp != 576120 {
+		t.Fatalf("custom-metric line misparsed: %+v", tv)
+	}
+}
+
+// TestNsRegressionFloor: the ns gate exempts benchmarks whose baseline op
+// time is below the floor — one short iteration is noise — but still fires
+// on benchmarks at or above it.
+func TestNsRegressionFloor(t *testing.T) {
+	if r := nsRegression(10, 10e6, 1e6, 2e6); r != "" {
+		t.Fatalf("sub-floor benchmark gated: %q", r)
+	}
+	if r := nsRegression(10, 10e6, 20e6, 40e6); r == "" {
+		t.Fatal("above-floor regression not gated")
+	}
+	if r := nsRegression(10, 0, 1e6, 2e6); r == "" {
+		t.Fatal("floor 0 should gate everything")
+	}
+	if r := nsRegression(10, 10e6, 20e6, 21e6); r != "" {
+		t.Fatalf("within-threshold growth gated: %q", r)
+	}
+}
+
+// TestPrintBatchSeries: families with at least two B=<n> points render a
+// per-item scaling block with the speedup over the smallest batch and the
+// baseline per-item cost when available.
+func TestPrintBatchSeries(t *testing.T) {
+	newRes := map[string]result{
+		"BenchmarkPredictBatch/B=1":  {NsPerOp: 1000},
+		"BenchmarkPredictBatch/B=8":  {NsPerOp: 4000},
+		"BenchmarkPredictBatch/B=64": {NsPerOp: 16000},
+		"BenchmarkLonely/B=1":        {NsPerOp: 5},
+		"BenchmarkTableV_GPT3":       {NsPerOp: 99},
+	}
+	baseRes := map[string]result{
+		"BenchmarkPredictBatch/B=8": {NsPerOp: 8000},
+	}
+	var sb strings.Builder
+	printBatchSeries(&sb, baseRes, newRes)
+	out := sb.String()
+	for _, want := range []string{
+		"BenchmarkPredictBatch per-item scaling:",
+		"B=1 ", "(2.00x vs B=1)", "(4.00x vs B=1)",
+		"[baseline 1,000 ns/item]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Lonely") || strings.Contains(out, "TableV") {
+		t.Fatalf("single-point family or non-series bench rendered:\n%s", out)
+	}
+}

@@ -9,7 +9,7 @@
 //	              [-maxbatch 32] [-window 2ms] [-workers 0] [-cachesize 4096] \
 //	              [-metrics serve.jsonl] [-addrfile serve.addr] [-quiet] \
 //	              [-slo-p99 500ms] [-slo-err 0.05] [-accesslog access.jsonl] \
-//	              [-incidents ./incidents]
+//	              [-incidents ./incidents] [-float32] [-kernel-tune auto]
 //
 // Endpoints: POST /predict (query a model), GET /models (registry listing),
 // POST /reload (hot-reload the model directory), GET /statusz (human-readable
@@ -58,6 +58,8 @@ func main() {
 	sloErr := flag.Float64("slo-err", 0.05, "tolerated bad-request fraction (the error budget)")
 	accessPath := flag.String("accesslog", "", "write sampled per-request access records (JSONL) to this file")
 	incidentDir := flag.String("incidents", "", "write SLO-breach evidence bundles (flight dump + CPU profile) under this directory")
+	useFloat32 := flag.Bool("float32", false, "serve through reduced-precision float32 inference engines (tolerance-pinned vs float64, not bitwise)")
+	kernelTune := flag.String("kernel-tune", os.Getenv("PREDTOP_KERNEL_TUNE"), "matmul kernel split: off (built-in defaults), auto (measure on this host), or a fixed crossover in multiply-adds")
 	flag.Parse()
 
 	tc := predtop.NewTraceContext(*seed, "predtop-serve")
@@ -67,6 +69,13 @@ func main() {
 
 	lg := predtop.NewProgressLogger(os.Stderr, *quiet).WithTrace(tc)
 	reg := predtop.NewMetricsRegistry()
+	tune, err := predtop.ApplyKernelTune(*kernelTune, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tune.Mode != "off" {
+		lg.Printf("kernel tune %s: crossover %d multiply-adds, row block %d", tune.Mode, tune.MinFlops, tune.RowBlock)
+	}
 
 	// newSink opens one JSONL sink and registers its close; the graceful
 	// shutdown path (SIGTERM breaking the signal loop) runs every registered
@@ -112,6 +121,7 @@ func main() {
 		Window:      *window,
 		Workers:     *workers,
 		CacheSize:   *cacheSize,
+		Float32:     *useFloat32,
 		Metrics:     reg,
 		Sink:        sink,
 		Flight:      fr,

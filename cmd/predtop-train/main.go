@@ -7,7 +7,7 @@
 //	predtop-train -bench GPT-3 -platform 2 -mesh 1 -conf 1 -arch tran \
 //	              -layers 12 -samples 0 -maxlen 3 -epochs 30 -o model.predtop \
 //	              [-metrics run.jsonl] [-trace run.json] [-listen :9090] \
-//	              [-profile spans.txt] [-driftmre 25] [-quiet]
+//	              [-profile spans.txt] [-driftmre 25] [-kernel-tune auto] [-quiet]
 //
 // -metrics streams JSONL records (run config, one record per epoch, a final
 // summary, accuracy records, and a metrics snapshot); -trace writes a
@@ -61,6 +61,7 @@ func main() {
 	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/flightrecorder, /debug/pprof/) on this address, e.g. :9090")
 	profilePath := flag.String("profile", "", "write a per-phase/per-layer self-time span profile to this file")
 	driftMRE := flag.Float64("driftmre", 0, "warn and count drift when held-out MRE exceeds this percentage (0 = off)")
+	kernelTune := flag.String("kernel-tune", os.Getenv("PREDTOP_KERNEL_TUNE"), "matmul kernel split: off (built-in defaults), auto (measure on this host), or a fixed crossover in multiply-adds")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
 
@@ -108,6 +109,13 @@ func main() {
 		lg.Printf("serving telemetry at %s/metrics", srv.URL())
 	}
 	reg.SetRunInfo(tc)
+	tune, err := predtop.ApplyKernelTune(*kernelTune, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if tune.Mode != "off" {
+		lg.Printf("kernel tune %s: crossover %d multiply-adds, row block %d", tune.Mode, tune.MinFlops, tune.RowBlock)
+	}
 	var prof *predtop.SpanProfiler
 	if *profilePath != "" {
 		prof = predtop.NewSpanProfiler()

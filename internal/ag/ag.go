@@ -105,6 +105,17 @@ const (
 	opGather
 	opAbs
 	opMeanAll
+	// Batched (segmented) ops — see batch.go. Each is the panel-blocked form
+	// of a serial op above, bitwise-identical per graph.
+	opSegLinear
+	opSegMatMulP
+	opSegLayerNorm
+	opSegSumRows
+	opSegAdjMatMul
+	opPanelMatMulBT
+	opPanelMatMul
+	opPanelSoftmax
+	opPanelAddOuter
 )
 
 // Node is one value on the autodiff tape. Nodes are owned by their Context
@@ -112,14 +123,17 @@ const (
 type Node struct {
 	V        *tensor.Tensor
 	grad     *tensor.Tensor
-	a, b, c3 *Node          // operands (c3: Linear bias / LayerNorm beta)
-	xs       []*Node        // operands of ConcatCols
-	aux      *tensor.Tensor // saved forward state (LayerNorm x-hat)
-	aux2     *tensor.Tensor // saved forward state (LayerNorm 1/σ per row, R×1)
-	gdst     *tensor.Tensor // opParam: gradient accumulation destination
-	idx      []int          // opGather row indices
-	s        float64        // opScale factor / opLeakyReLU alpha
-	lo, hi   int            // opSlice column range
+	a, b, c3 *Node              // operands (c3: Linear bias / LayerNorm beta)
+	xs       []*Node            // operands of ConcatCols
+	aux      *tensor.Tensor     // saved forward state (LayerNorm x-hat)
+	aux2     *tensor.Tensor     // saved forward state (LayerNorm 1/σ per row, R×1)
+	gdst     *tensor.Tensor     // opParam: gradient accumulation destination
+	idx      []int              // opGather row indices
+	s        float64            // opScale factor / opLeakyReLU alpha / seg LayerNorm eps
+	lo, hi   int                // opSlice column range
+	bl       tensor.BatchLayout // batched ops: panel layout
+	mts      []*tensor.Tensor   // batched ops: per-graph masks or adjacencies
+	p1, p2   *Param             // batched ops: shared panel params (W/γ, b/β)
 	op       opKind
 	requires bool
 }
@@ -143,6 +157,7 @@ type Context struct {
 	nodes  []*Node
 	params map[*Param]*Node
 	grads  *GradBuffer      // nil: Backward accumulates into Param.Grad directly
+	shards []*GradBuffer    // batched tape: per-panel gradient shards (SetShards)
 	ts     []*tensor.Tensor // scratch operand slice for ConcatCols
 	span   obs.Span         // profiling span layer marks nest under (see profile.go)
 	marks  []layerMark      // tape ranges recorded by StartLayer/End
@@ -410,25 +425,13 @@ func (c *Context) runBack(n *Node) {
 	case opReLU:
 		x := n.a
 		d := c.arena.GetUninit(g.R, g.C)
-		for i, gv := range g.Data {
-			if x.V.Data[i] > 0 {
-				d.Data[i] = gv
-			} else {
-				d.Data[i] = 0
-			}
-		}
+		tensor.ReLUBackInto(d, g, x.V)
 		c.accumOwn(x, d)
 
 	case opLeakyReLU:
 		x, alpha := n.a, n.s
 		d := c.arena.GetUninit(g.R, g.C)
-		for i, gv := range g.Data {
-			if x.V.Data[i] > 0 {
-				d.Data[i] = gv
-			} else {
-				d.Data[i] = alpha * gv
-			}
-		}
+		tensor.LeakyReLUBackInto(d, g, x.V, alpha)
 		c.accumOwn(x, d)
 
 	case opTanh:
@@ -449,9 +452,7 @@ func (c *Context) runBack(n *Node) {
 			for j := range grow {
 				dotgy += grow[j] * yrow[j]
 			}
-			for j := range grow {
-				drow[j] = yrow[j] * (grow[j] - dotgy)
-			}
+			tensor.SoftmaxBackRow(drow, grow, yrow, dotgy)
 		}
 		c.accumOwn(n.a, d)
 
@@ -550,6 +551,25 @@ func (c *Context) runBack(n *Node) {
 			d.Data[i] = v
 		}
 		c.accumOwn(x, d)
+
+	case opSegLinear:
+		c.backSegLinear(n)
+	case opSegMatMulP:
+		c.backSegMatMulP(n)
+	case opSegLayerNorm:
+		c.backSegLayerNorm(n)
+	case opSegSumRows:
+		c.backSegSumRows(n)
+	case opSegAdjMatMul:
+		c.backSegAdjMatMul(n)
+	case opPanelMatMulBT:
+		c.backPanelMatMulBT(n)
+	case opPanelMatMul:
+		c.backPanelMatMul(n)
+	case opPanelSoftmax:
+		c.backPanelSoftmax(n)
+	case opPanelAddOuter:
+		c.backPanelAddOuter(n)
 	}
 }
 
@@ -650,9 +670,7 @@ func (c *Context) ScaleInPlace(x *Node, s float64) *Node {
 // ReLU returns max(x, 0).
 func (c *Context) ReLU(x *Node) *Node {
 	v := c.arena.GetUninit(x.V.R, x.V.C)
-	for i, a := range x.V.Data {
-		v.Data[i] = math.Max(a, 0)
-	}
+	tensor.ReLUInto(v, x.V)
 	n := c.node(opReLU, v, x.requires)
 	n.a = x
 	return n
@@ -661,13 +679,7 @@ func (c *Context) ReLU(x *Node) *Node {
 // LeakyReLU returns x for x>0 and αx otherwise.
 func (c *Context) LeakyReLU(x *Node, alpha float64) *Node {
 	v := c.arena.GetUninit(x.V.R, x.V.C)
-	for i, a := range x.V.Data {
-		if a > 0 {
-			v.Data[i] = a
-		} else {
-			v.Data[i] = alpha * a
-		}
-	}
+	tensor.LeakyReLUInto(v, x.V, alpha)
 	n := c.node(opLeakyReLU, v, x.requires)
 	n.a, n.s = x, alpha
 	return n

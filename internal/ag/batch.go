@@ -1,0 +1,369 @@
+// Batched tape ops: one tape records B stage graphs stacked into padded
+// panel tensors (tensor.BatchLayout), so a minibatch runs one forward and
+// one backward instead of B. Every op here is the panel-blocked form of a
+// serial op in ag.go, built on the same inner kernels over the same operand
+// ranges, so each graph's values and gradients are bitwise identical to
+// running it alone on its own tape.
+//
+// Parameter gradients do not flow through opParam leaves on a batched tape.
+// Instead each segmented op accumulates its per-panel weight/bias gradients
+// directly into the panel's GradBuffer shard (SetShards) — the same
+// per-sample shards the serial minibatch loop fills — so optim.ReduceGrads
+// and everything downstream see byte-identical inputs. This works because
+// the serial path's param accumulation is a single AddInPlace of the
+// freshly-computed gradient into a zeroed shard, which the per-panel
+// AddInPlace here reproduces exactly.
+package ag
+
+import (
+	"math"
+
+	"predtop/internal/tensor"
+)
+
+// SetShards attaches one gradient shard per panel of the next batched pass:
+// panel g's parameter gradients accumulate into shards[g]. Passing nil
+// detaches (gradients then fall back to the context's GradBuffer or
+// Param.Grad). Call before BackwardVec; the slice is retained, not copied.
+func (c *Context) SetShards(shards []*GradBuffer) { c.shards = shards }
+
+// shardGrad resolves the gradient accumulator for parameter p on panel g.
+func (c *Context) shardGrad(g int, p *Param) *tensor.Tensor {
+	if c.shards != nil {
+		return c.shards[g].Grad(p)
+	}
+	if c.grads != nil {
+		return c.grads.Grad(p)
+	}
+	return p.Grad
+}
+
+// BackwardVec seeds an N×1 loss vector with all-ones gradients and walks the
+// tape in reverse, exactly like Backward. On a batched tape whose panels
+// never mix (every op here is panel-block-diagonal), this equals seeding
+// each panel's scalar loss with 1 on its own tape — the serial minibatch
+// loop — so gradients land bitwise identical in the per-panel shards.
+func (c *Context) BackwardVec(loss *Node) {
+	seed := c.arena.GetUninit(loss.V.R, loss.V.C)
+	for i := range seed.Data {
+		seed.Data[i] = 1
+	}
+	loss.grad = seed
+	if len(c.marks) > 0 && c.span.Enabled() {
+		bspan := c.span.Start("backward")
+		c.backwardProfiled(bspan)
+		bspan.End()
+		return
+	}
+	for i := len(c.nodes) - 1; i >= 0; i-- {
+		n := c.nodes[i]
+		if n.grad == nil || !n.requires {
+			continue
+		}
+		c.runBack(n)
+	}
+}
+
+// clearPadRows zeroes rows [lo, hi) of t — pad rows of a freshly computed
+// gradient, kept zero so downstream elementwise accumulation stays finite
+// and panel reductions never see garbage.
+func clearPadRows(t *tensor.Tensor, lo, hi int) {
+	clear(t.Data[lo*t.C : hi*t.C])
+}
+
+// SegLinear is the batched fused dense layer x·W + b over every panel's real
+// rows (pad rows zero). W and b gradients accumulate per panel into the
+// panel's shard.
+func (c *Context) SegLinear(x *Node, w, b *Param, l tensor.BatchLayout) *Node {
+	v := c.arena.GetUninit(x.V.R, w.V.C)
+	tensor.SegLinearInto(v, x.V, w.V, b.V, l)
+	n := c.node(opSegLinear, v, true)
+	n.a, n.p1, n.p2, n.bl = x, w, b, l
+	return n
+}
+
+func (c *Context) backSegLinear(n *Node) {
+	g, x, w, b, l := n.grad, n.a, n.p1, n.p2, n.bl
+	if x.requires {
+		d := c.arena.GetUninit(g.R, w.V.R)
+		tensor.SegMatMulBTInto(d, g, w.V, l) // dX = g·Wᵀ per panel
+		c.accumOwn(x, d)
+	}
+	for gi := 0; gi < l.B; gi++ {
+		lo := gi * l.Stride
+		hi := lo + l.Counts[gi]
+		dw := c.arena.GetUninit(x.V.C, g.C)
+		tensor.MatMulATRangeInto(dw, x.V, g, lo, hi) // dW = X_gᵀ·g_g
+		tensor.AddInPlace(c.shardGrad(gi, w), dw)
+		db := c.arena.GetUninit(1, g.C)
+		tensor.SumRowsRangeInto(db, g, lo, hi)
+		tensor.AddInPlace(c.shardGrad(gi, b), db)
+	}
+}
+
+// SegMatMul multiplies every panel's real rows by a shared parameter matrix
+// (e.g. a GAT attention vector); the parameter gradient accumulates per
+// panel into the panel's shard.
+func (c *Context) SegMatMul(a *Node, p *Param, l tensor.BatchLayout) *Node {
+	v := c.arena.GetUninit(a.V.R, p.V.C)
+	tensor.SegMatMulInto(v, a.V, p.V, l)
+	n := c.node(opSegMatMulP, v, true)
+	n.a, n.p1, n.bl = a, p, l
+	return n
+}
+
+func (c *Context) backSegMatMulP(n *Node) {
+	g, a, p, l := n.grad, n.a, n.p1, n.bl
+	if a.requires {
+		d := c.arena.GetUninit(g.R, p.V.R)
+		tensor.SegMatMulBTInto(d, g, p.V, l)
+		c.accumOwn(a, d)
+	}
+	for gi := 0; gi < l.B; gi++ {
+		lo := gi * l.Stride
+		hi := lo + l.Counts[gi]
+		dp := c.arena.GetUninit(a.V.C, g.C)
+		tensor.MatMulATRangeInto(dp, a.V, g, lo, hi)
+		tensor.AddInPlace(c.shardGrad(gi, p), dp)
+	}
+}
+
+// SegLayerNorm normalizes every panel's real rows (pad rows zero) with the
+// row math of Context.LayerNorm; γ/β gradients accumulate per panel.
+func (c *Context) SegLayerNorm(x *Node, gamma, beta *Param, eps float64, l tensor.BatchLayout) *Node {
+	rows, d := x.V.R, x.V.C
+	xhat := c.arena.GetUninit(rows, d)
+	invstd := c.arena.GetUninit(rows, 1)
+	y := c.arena.GetUninit(rows, d)
+	gd, bd := gamma.V.Data, beta.V.Data
+	for gi := 0; gi < l.B; gi++ {
+		lo := gi * l.Stride
+		hi := lo + l.Counts[gi]
+		for i := lo; i < hi; i++ {
+			row := x.V.Row(i)
+			mean := 0.0
+			for _, v := range row {
+				mean += v
+			}
+			mean /= float64(d)
+			varr := 0.0
+			for _, v := range row {
+				dv := v - mean
+				varr += dv * dv
+			}
+			varr /= float64(d)
+			is := 1 / math.Sqrt(varr+eps)
+			invstd.Data[i] = is
+			xrow := xhat.Row(i)
+			for j, v := range row {
+				xrow[j] = (v - mean) * is
+			}
+			yrow := y.Row(i)
+			for j := range yrow {
+				yrow[j] = xrow[j]*gd[j] + bd[j]
+			}
+		}
+		clearPadRows(y, hi, lo+l.Stride)
+		clearPadRows(xhat, hi, lo+l.Stride)
+	}
+	n := c.node(opSegLayerNorm, y, true)
+	n.a, n.p1, n.p2, n.s, n.bl = x, gamma, beta, eps, l
+	n.aux, n.aux2 = xhat, invstd
+	return n
+}
+
+func (c *Context) backSegLayerNorm(n *Node) {
+	g, x, gamma, beta, l := n.grad, n.a, n.p1, n.p2, n.bl
+	d := n.V.C
+	xhat, invstd := n.aux, n.aux2.Data
+	gd := gamma.V.Data
+	var dx *tensor.Tensor
+	if x.requires {
+		dx = c.arena.GetUninit(n.V.R, d)
+	}
+	for gi := 0; gi < l.B; gi++ {
+		lo := gi * l.Stride
+		hi := lo + l.Counts[gi]
+		dgam := c.arena.Get(1, d)
+		for i := lo; i < hi; i++ {
+			grow, xrow := g.Row(i), xhat.Row(i)
+			for j := range grow {
+				dgam.Data[j] += grow[j] * xrow[j]
+			}
+		}
+		tensor.AddInPlace(c.shardGrad(gi, gamma), dgam)
+		dbeta := c.arena.GetUninit(1, d)
+		tensor.SumRowsRangeInto(dbeta, g, lo, hi)
+		tensor.AddInPlace(c.shardGrad(gi, beta), dbeta)
+		if dx == nil {
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			grow, xrow, drow := g.Row(i), xhat.Row(i), dx.Row(i)
+			sum1, sum2 := 0.0, 0.0
+			for j := range grow {
+				dxh := grow[j] * gd[j]
+				drow[j] = dxh
+				sum1 += dxh
+				sum2 += dxh * xrow[j]
+			}
+			inv := invstd[i] / float64(d)
+			for j := range drow {
+				drow[j] = inv * (float64(d)*drow[j] - sum1 - xrow[j]*sum2)
+			}
+		}
+		clearPadRows(dx, hi, lo+l.Stride)
+	}
+	if dx != nil {
+		c.accumOwn(x, dx)
+	}
+}
+
+// SegSumRows pools each panel's real rows into one row — the batched
+// global-add-pool, producing B×C from the stacked node tensor.
+func (c *Context) SegSumRows(x *Node, l tensor.BatchLayout) *Node {
+	v := c.arena.GetUninit(l.B, x.V.C)
+	tensor.SegSumRowsInto(v, x.V, l)
+	n := c.node(opSegSumRows, v, x.requires)
+	n.a, n.bl = x, l
+	return n
+}
+
+func (c *Context) backSegSumRows(n *Node) {
+	g, x, l := n.grad, n.a, n.bl
+	d := c.arena.GetUninit(x.V.R, x.V.C)
+	for gi := 0; gi < l.B; gi++ {
+		lo := gi * l.Stride
+		hi := lo + l.Counts[gi]
+		grow := g.Row(gi)
+		for i := lo; i < hi; i++ {
+			copy(d.Row(i), grow)
+		}
+		clearPadRows(d, hi, lo+l.Stride)
+	}
+	c.accumOwn(x, d)
+}
+
+// SegAdjMatMul applies each graph's own (constant) normalized adjacency to
+// its panel — the batched GCN aggregation Â_g·X_g.
+func (c *Context) SegAdjMatMul(adjs []*tensor.Tensor, x *Node, l tensor.BatchLayout) *Node {
+	v := c.arena.GetUninit(x.V.R, x.V.C)
+	tensor.SegAdjMatMulInto(v, adjs, x.V, l)
+	n := c.node(opSegAdjMatMul, v, x.requires)
+	n.a, n.mts, n.bl = x, adjs, l
+	return n
+}
+
+func (c *Context) backSegAdjMatMul(n *Node) {
+	g, x, l := n.grad, n.a, n.bl
+	d := c.arena.GetUninit(g.R, g.C)
+	tensor.PanelAdjATInto(d, n.mts, g, l) // dX = Â_gᵀ·g_g per panel
+	c.accumOwn(x, d)
+}
+
+// PanelMatMulBT computes each panel's score matrix a_g·b_gᵀ from stacked
+// inputs into a panel-width (rows×Stride) tensor.
+func (c *Context) PanelMatMulBT(a, b *Node, l tensor.BatchLayout) *Node {
+	v := c.arena.GetUninit(a.V.R, l.Stride)
+	tensor.PanelMatMulBTInto(v, a.V, b.V, l)
+	n := c.node(opPanelMatMulBT, v, anyRequires(a, b))
+	n.a, n.b, n.bl = a, b, l
+	return n
+}
+
+func (c *Context) backPanelMatMulBT(n *Node) {
+	g, a, b, l := n.grad, n.a, n.b, n.bl
+	if a.requires {
+		d := c.arena.GetUninit(a.V.R, a.V.C)
+		tensor.PanelMatMulInto(d, g, b.V, l) // dA = g_g·B_g per panel
+		c.accumOwn(a, d)
+	}
+	if b.requires {
+		d := c.arena.GetUninit(b.V.R, b.V.C)
+		tensor.PanelMatMulATInto(d, g, a.V, l) // dB = g_gᵀ·A_g per panel
+		c.accumOwn(b, d)
+	}
+}
+
+// PanelMatMul multiplies each panel's attention weights (panel-width a) by
+// the panel's rows of stacked b — the attention·V product.
+func (c *Context) PanelMatMul(a, b *Node, l tensor.BatchLayout) *Node {
+	v := c.arena.GetUninit(a.V.R, b.V.C)
+	tensor.PanelMatMulInto(v, a.V, b.V, l)
+	n := c.node(opPanelMatMul, v, anyRequires(a, b))
+	n.a, n.b, n.bl = a, b, l
+	return n
+}
+
+func (c *Context) backPanelMatMul(n *Node) {
+	g, a, b, l := n.grad, n.a, n.b, n.bl
+	if a.requires {
+		d := c.arena.GetUninit(a.V.R, a.V.C)
+		tensor.PanelMatMulBTInto(d, g, b.V, l) // dA = g_g·B_gᵀ per panel
+		c.accumOwn(a, d)
+	}
+	if b.requires {
+		d := c.arena.GetUninit(b.V.R, b.V.C)
+		tensor.PanelMatMulATInto(d, a.V, g, l) // dB = A_gᵀ·g_g per panel
+		c.accumOwn(b, d)
+	}
+}
+
+// PanelSoftmaxInPlace applies each panel's masked row softmax over its
+// logical width, in x's own buffer (safe exactly when the serial
+// SoftmaxRowsInPlace is: softmax's VJP needs only its output). masks[g] is
+// graph g's additive c×c mask (nil disables masking for that graph).
+func (c *Context) PanelSoftmaxInPlace(x *Node, masks []*tensor.Tensor, l tensor.BatchLayout) *Node {
+	tensor.PanelSoftmaxInto(x.V, x.V, masks, l)
+	n := c.node(opPanelSoftmax, x.V, x.requires)
+	n.a, n.mts, n.bl = x, masks, l
+	return n
+}
+
+func (c *Context) backPanelSoftmax(n *Node) {
+	g, y, l := n.grad, n.V, n.bl
+	d := c.arena.GetUninit(g.R, g.C)
+	s := l.Stride
+	for gi := 0; gi < l.B; gi++ {
+		cnt := l.Counts[gi]
+		base := gi * s
+		for i := base; i < base+cnt; i++ {
+			grow := g.Data[i*s : i*s+cnt]
+			yrow := y.Data[i*s : i*s+cnt]
+			drow := d.Data[i*s : i*s+cnt]
+			dotgy := 0.0
+			for j := range grow {
+				dotgy += grow[j] * yrow[j]
+			}
+			tensor.SoftmaxBackRow(drow, grow, yrow, dotgy)
+			clear(d.Data[i*s+cnt : (i+1)*s])
+		}
+		clearPadRows(d, base+cnt, base+s)
+	}
+	c.accumOwn(n.a, d)
+}
+
+// PanelAddOuter computes each panel's logit matrix out[i][j] = a[i] + b[j]
+// from stacked column vectors — the batched GAT attention-logit sum — into a
+// panel-width tensor.
+func (c *Context) PanelAddOuter(a, b *Node, l tensor.BatchLayout) *Node {
+	v := c.arena.GetUninit(a.V.R, l.Stride)
+	tensor.PanelAddOuterInto(v, a.V, b.V, l)
+	n := c.node(opPanelAddOuter, v, anyRequires(a, b))
+	n.a, n.b, n.bl = a, b, l
+	return n
+}
+
+func (c *Context) backPanelAddOuter(n *Node) {
+	g, a, b, l := n.grad, n.a, n.b, n.bl
+	if a.requires {
+		d := c.arena.GetUninit(g.R, 1)
+		tensor.PanelSumColsInto(d, g, l)
+		c.accumOwn(a, d)
+	}
+	if b.requires {
+		d := c.arena.GetUninit(g.R, 1)
+		tensor.PanelColSumsInto(d, g, l)
+		c.accumOwn(b, d)
+	}
+}

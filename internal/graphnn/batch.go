@@ -1,0 +1,101 @@
+// Batched prediction: all three architectures implement BatchPredictor,
+// running B stacked stage graphs through one tape. Per graph, predictions
+// (and, through ag's segmented backward, gradients) are bitwise identical to
+// Predict on the graph alone, independent of which other graphs share the
+// batch — batching is pure amortization.
+package graphnn
+
+import (
+	"predtop/internal/ag"
+	"predtop/internal/stage"
+)
+
+// BatchPredictor is implemented by models whose forward can fuse a whole
+// padded batch of stage graphs into one tape, returning B×1 predictions in
+// batch order.
+type BatchPredictor interface {
+	PredictBatch(ctx *ag.Context, b *stage.Batch) *ag.Node
+}
+
+// Compile-time checks: every built-in architecture batches.
+var (
+	_ BatchPredictor = (*DAGTransformer)(nil)
+	_ BatchPredictor = (*GCN)(nil)
+	_ BatchPredictor = (*GAT)(nil)
+)
+
+// PredictBatch implements BatchPredictor.
+func (m *DAGTransformer) PredictBatch(ctx *ag.Context, b *stage.Batch) *ag.Node {
+	bl := b.Layout
+	ls := ctx.StartLayer("embed")
+	x := m.input.ForwardBatch(ctx, ctx.Const(b.X), bl)
+	// DAGPE: the sinusoidal table is constant, so the per-graph depth gather
+	// needs no tape op — build the stacked positional tensor directly (pad
+	// rows zero) and add it as a constant.
+	pos := ctx.Arena().Get(bl.Rows(), m.cfg.Dim)
+	for g := 0; g < bl.B; g++ {
+		base := g * bl.Stride
+		for i, d := range b.Depths[g] {
+			if d >= m.cfg.MaxPos {
+				d = m.cfg.MaxPos - 1
+			}
+			copy(pos.Row(base+i), m.pe.Row(d))
+		}
+	}
+	x = ctx.Add(x, ctx.Const(pos))
+	ls.End()
+	for i, l := range m.layers {
+		ls = ctx.StartLayer(m.spanAttn[i])
+		x = ctx.Add(x, l.attn.ForwardBatch(ctx, l.ln1.ForwardBatch(ctx, x, bl), b.Reach, bl))
+		ls.End()
+		ls = ctx.StartLayer(m.spanFFN[i])
+		x = ctx.Add(x, l.ffn.ForwardBatch(ctx, l.ln2.ForwardBatch(ctx, x, bl), bl))
+		ls.End()
+	}
+	ls = ctx.StartLayer("head")
+	pooled := ctx.Scale(ctx.SegSumRows(x, bl), poolScale)
+	out := m.head.ForwardBatch(ctx, pooled, b.HeadLayout)
+	ls.End()
+	return out
+}
+
+// PredictBatch implements BatchPredictor.
+func (m *GCN) PredictBatch(ctx *ag.Context, b *stage.Batch) *ag.Node {
+	bl := b.Layout
+	x := ctx.Const(b.X)
+	for i, l := range m.layers {
+		ls := ctx.StartLayer(m.spanNames[i])
+		x = ctx.ReLU(l.ForwardBatch(ctx, ctx.SegAdjMatMul(b.Adj, x, bl), bl))
+		ls.End()
+	}
+	ls := ctx.StartLayer("head")
+	out := m.head.ForwardBatch(ctx, ctx.Scale(ctx.SegSumRows(x, bl), poolScale), b.HeadLayout)
+	ls.End()
+	return out
+}
+
+// PredictBatch implements BatchPredictor.
+func (m *GAT) PredictBatch(ctx *ag.Context, b *stage.Batch) *ag.Node {
+	bl := b.Layout
+	x := ctx.Const(b.X)
+	for i, l := range m.layers {
+		ls := ctx.StartLayer(m.spanNames[i])
+		heads := make([]*ag.Node, l.numHeads)
+		for h := 0; h < l.numHeads; h++ {
+			wh := l.w[h].ForwardBatch(ctx, x, bl)
+			s1 := ctx.SegMatMul(wh, l.aSrc[h], bl)
+			s2 := ctx.SegMatMul(wh, l.aDst[h], bl)
+			logits := ctx.LeakyReLU(ctx.PanelAddOuter(s1, s2, bl), l.alpha)
+			// In-place is safe exactly as in Predict: LeakyReLU's backward
+			// reads its input, never its own output buffer.
+			attn := ctx.PanelSoftmaxInPlace(logits, b.Neighbor, bl)
+			heads[h] = ctx.PanelMatMul(attn, wh, bl)
+		}
+		x = ctx.ReLU(ctx.ConcatCols(heads...))
+		ls.End()
+	}
+	ls := ctx.StartLayer("head")
+	out := m.head.ForwardBatch(ctx, ctx.Scale(ctx.SegSumRows(x, bl), poolScale), b.HeadLayout)
+	ls.End()
+	return out
+}

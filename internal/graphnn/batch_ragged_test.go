@@ -1,0 +1,181 @@
+package graphnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"predtop/internal/ag"
+	"predtop/internal/models"
+	"predtop/internal/stage"
+	"predtop/internal/tensor"
+)
+
+// raggedPool builds encoded stage graphs with distinct node counts, so padded
+// batches exercise real raggedness (every graph shorter than the stride pads).
+func raggedPool(t testing.TB) []*stage.Encoded {
+	t.Helper()
+	m := models.Build(models.GPT3())
+	var es []*stage.Encoded
+	for _, r := range [][3]int{{0, 1, 0}, {1, 3, 0}, {2, 5, 0}, {0, 4, 0}, {2, 3, 1}} {
+		g := m.StageGraph(r[0], r[1], r[2] == 1)
+		es = append(es, stage.Encode(stage.FromGraph(g, true)))
+	}
+	counts := map[int]bool{}
+	for _, e := range es {
+		counts[e.N()] = true
+	}
+	if len(counts) < 3 {
+		t.Fatalf("pool not ragged enough: node counts %v", counts)
+	}
+	return es
+}
+
+func raggedModels(seed int64) []Model {
+	rng := rand.New(rand.NewSource(seed))
+	return []Model{
+		NewDAGTransformer(rng, TransformerConfig{Layers: 2, Dim: 16, Heads: 2, FFNDim: 32}),
+		NewGCN(rng, GCNConfig{Layers: 2, Dim: 16}),
+		NewGAT(rng, GATConfig{Layers: 2, Dim: 8, Heads: 2}),
+	}
+}
+
+// checkBatchBitwise runs the batched forward+backward over the given graphs
+// and requires every per-graph prediction and every per-graph gradient shard
+// to be bitwise identical to a serial per-graph tape.
+func checkBatchBitwise(t *testing.T, m Model, es []*stage.Encoded) {
+	t.Helper()
+	bm, ok := m.(BatchPredictor)
+	if !ok {
+		t.Fatalf("%s does not implement BatchPredictor", m.Name())
+	}
+	params := m.Params()
+
+	// Serial reference: one tape and one gradient buffer per graph.
+	wantPred := make([]float64, len(es))
+	wantGrads := make([]*ag.GradBuffer, len(es))
+	for i, e := range es {
+		buf := ag.NewGradBuffer(params)
+		ctx := ag.NewContextInto(buf)
+		out := m.Predict(ctx, e)
+		wantPred[i] = out.Value().At(0, 0)
+		ctx.Backward(out)
+		wantGrads[i] = buf
+	}
+
+	// Fused batch: one tape, per-graph shards.
+	shards := make([]*ag.GradBuffer, len(es))
+	for i := range shards {
+		shards[i] = ag.NewGradBuffer(params)
+	}
+	ctx := ag.NewContext()
+	nb, err := stage.NewBatch(es, ctx.Arena())
+	if err != nil {
+		t.Fatalf("NewBatch: %v", err)
+	}
+	ctx.SetShards(shards)
+	out := bm.PredictBatch(ctx, nb)
+	preds := out.Value()
+	if preds.R != len(es) || preds.C != 1 {
+		t.Fatalf("%s batch output %dx%d for %d graphs", m.Name(), preds.R, preds.C, len(es))
+	}
+	ctx.BackwardVec(out)
+
+	for i := range es {
+		if math.Float64bits(preds.Data[i]) != math.Float64bits(wantPred[i]) {
+			t.Fatalf("%s graph %d (n=%d): batched %v != serial %v",
+				m.Name(), i, es[i].N(), preds.Data[i], wantPred[i])
+		}
+		got, want := shards[i].Grads(), wantGrads[i].Grads()
+		for pi := range want {
+			for j := range want[pi].Data {
+				a, b := want[pi].Data[j], got[pi].Data[j]
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("%s graph %d shard %s[%d]: batched %x != serial %x",
+						m.Name(), i, params[pi].Name, j,
+						math.Float64bits(b), math.Float64bits(a))
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchRaggedBitwise drives the fused batched forward+backward
+// through the padding edge cases — single-graph batches, rectangular batches
+// (no padding at all), maximal pad skew (smallest graph next to largest), and
+// duplicates sharing mask tensors — asserting per-graph values and gradient
+// shards stay bitwise equal to the serial loop for all three architectures.
+func TestPredictBatchRaggedBitwise(t *testing.T) {
+	pool := raggedPool(t)
+	small, large := 0, 0
+	for i, e := range pool {
+		if e.N() < pool[small].N() {
+			small = i
+		}
+		if e.N() > pool[large].N() {
+			large = i
+		}
+	}
+	cases := map[string][]int{
+		"B1":        {0},
+		"B1-large":  {large},
+		"all-equal": {1, 1, 1, 1},
+		"pad-skew":  {small, large, small},
+		"dups":      {2, 2, 0, 3},
+		"ragged":    {0, 1, 2, 3, 4},
+	}
+	for _, m := range raggedModels(11) {
+		t.Run(m.Name(), func(t *testing.T) {
+			for name, idx := range cases {
+				es := make([]*stage.Encoded, len(idx))
+				for k, i := range idx {
+					es[k] = pool[i]
+				}
+				t.Run(name, func(t *testing.T) { checkBatchBitwise(t, m, es) })
+			}
+		})
+	}
+}
+
+// TestPredictBatchRandomizedBitwise is the property form: random batch
+// compositions and sizes drawn from the ragged pool, each checked bitwise
+// against the serial loop, with SIMD kernels both on and off (when the
+// hardware has them) to pin the scalar and vector paths to each other.
+func TestPredictBatchRandomizedBitwise(t *testing.T) {
+	pool := raggedPool(t)
+	rng := rand.New(rand.NewSource(99))
+	ms := raggedModels(17)
+	simdModes := []bool{tensor.SIMDEnabled()}
+	if tensor.SIMDAvailable() {
+		simdModes = []bool{true, false}
+	}
+	defer tensor.SetSIMD(tensor.SIMDEnabled())
+	for trial := 0; trial < 8; trial++ {
+		b := 1 + rng.Intn(6)
+		es := make([]*stage.Encoded, b)
+		for k := range es {
+			es[k] = pool[rng.Intn(len(pool))]
+		}
+		m := ms[trial%len(ms)]
+		for _, simd := range simdModes {
+			tensor.SetSIMD(simd)
+			checkBatchBitwise(t, m, es)
+		}
+	}
+}
+
+// TestNewBatchRejectsEmptyGraph: a zero-node graph has nothing to pool, so
+// batching must fail loudly rather than emit a padding artifact — alone and
+// in the middle of an otherwise valid batch.
+func TestNewBatchRejectsEmptyGraph(t *testing.T) {
+	pool := raggedPool(t)
+	empty := &stage.Encoded{X: tensor.New(0, stage.FeatureDim)}
+	for _, es := range [][]*stage.Encoded{
+		{empty},
+		{pool[0], empty, pool[1]},
+	} {
+		if _, err := stage.NewBatch(es, nil); err != stage.ErrEmptyGraph {
+			t.Fatalf("NewBatch with empty graph: err=%v, want ErrEmptyGraph", err)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package graphnn
+
+import (
+	"fmt"
+	"math"
+
+	"predtop/internal/nn"
+	"predtop/internal/stage"
+	"predtop/internal/tensor"
+)
+
+// Forward32 is the opt-in float32 inference engine: a forward-only evaluator
+// over a float32 snapshot of a trained model's weights. It mirrors the
+// float64 forward operation for operation but carries no tape, no gradients,
+// and no bitwise guarantee — results track the float64 path within the
+// tolerance pinned by the float32 determinism table (TestFloat32Tolerance*),
+// and the engine itself is deterministic (same input, same bits) because
+// every loop is serial over fixed-order data. Weights are snapshotted at
+// construction; training the model afterwards does not update the engine.
+type Forward32 struct {
+	predict func(e *stage.Encoded) float64
+}
+
+// NewForward32 snapshots m's weights into a float32 evaluator. All three
+// built-in architectures are supported; an unknown model returns an error.
+func NewForward32(m Model) (*Forward32, error) {
+	switch t := m.(type) {
+	case *DAGTransformer:
+		return newTran32(t), nil
+	case *GCN:
+		return newGCN32(t), nil
+	case *GAT:
+		return newGAT32(t), nil
+	}
+	return nil, fmt.Errorf("graphnn: no float32 path for %T", m)
+}
+
+// Predict returns the model's latency prediction (pre-scale, like
+// Model.Predict's scalar output) computed in float32.
+func (f *Forward32) Predict(e *stage.Encoded) float64 { return f.predict(e) }
+
+// lin32 is a float32 Linear snapshot.
+type lin32 struct {
+	w, b *tensor.Tensor32
+}
+
+func snapLin(w, b *tensor.Tensor) lin32 {
+	return lin32{w: w.ToFloat32(), b: b.ToFloat32()}
+}
+
+func (l lin32) forward(x *tensor.Tensor32) *tensor.Tensor32 {
+	out := tensor.New32(x.R, l.w.C)
+	tensor.LinearInto32(out, x, l.w, l.b)
+	return out
+}
+
+// mlpHead32 is a float32 MLPHead snapshot.
+type mlpHead32 struct {
+	hidden []lin32
+	out    lin32
+}
+
+func snapHead(hidden []lin32, out lin32) mlpHead32 { return mlpHead32{hidden: hidden, out: out} }
+
+func (h mlpHead32) forward(x *tensor.Tensor32) float32 {
+	for _, l := range h.hidden {
+		x = l.forward(x)
+		tensor.ReLU32(x)
+	}
+	return h.out.forward(x).Data[0]
+}
+
+func pool32(x *tensor.Tensor32) *tensor.Tensor32 {
+	pooled := tensor.New32(1, x.C)
+	tensor.SumRowsInto32(pooled, x)
+	tensor.Scale32(pooled, float32(poolScale))
+	return pooled
+}
+
+func snap32Head(h *nn.MLPHead) mlpHead32 {
+	hidden := make([]lin32, len(h.Hidden))
+	for i, l := range h.Hidden {
+		hidden[i] = snapLin(l.W.V, l.B.V)
+	}
+	return snapHead(hidden, snapLin(h.Out.W.V, h.Out.B.V))
+}
+
+func newTran32(m *DAGTransformer) *Forward32 {
+	type layer32 struct {
+		wq, wk, wv, wo lin32
+		g1, b1, g2, b2 *tensor.Tensor32
+		ffnIn, ffnOut  lin32
+		eps1, eps2     float32
+	}
+	input := snapLin(m.input.W.V, m.input.B.V)
+	pe := m.pe.ToFloat32()
+	layers := make([]layer32, len(m.layers))
+	for i, l := range m.layers {
+		layers[i] = layer32{
+			wq: snapLin(l.attn.Wq.W.V, l.attn.Wq.B.V),
+			wk: snapLin(l.attn.Wk.W.V, l.attn.Wk.B.V),
+			wv: snapLin(l.attn.Wv.W.V, l.attn.Wv.B.V),
+			wo: snapLin(l.attn.Wo.W.V, l.attn.Wo.B.V),
+			g1: l.ln1.G.V.ToFloat32(), b1: l.ln1.B.V.ToFloat32(), eps1: float32(l.ln1.Eps),
+			g2: l.ln2.G.V.ToFloat32(), b2: l.ln2.B.V.ToFloat32(), eps2: float32(l.ln2.Eps),
+			ffnIn:  snapLin(l.ffn.In.W.V, l.ffn.In.B.V),
+			ffnOut: snapLin(l.ffn.Out.W.V, l.ffn.Out.B.V),
+		}
+	}
+	head := snap32Head(m.head)
+	heads, dim := m.cfg.Heads, m.cfg.Dim
+	dk := dim / heads
+	scale := float32(1 / math.Sqrt(float64(dk)))
+	maxPos := m.cfg.MaxPos
+
+	return &Forward32{predict: func(e *stage.Encoded) float64 {
+		n := e.N()
+		x := input.forward(e.X.ToFloat32())
+		for i, d := range e.Depths {
+			if d >= maxPos {
+				d = maxPos - 1
+			}
+			perow := pe.Row(d)
+			xrow := x.Row(i)
+			for j, v := range perow {
+				xrow[j] += v
+			}
+		}
+		mask := e.ReachMask.ToFloat32()
+		qh := tensor.New32(n, dk)
+		kh := tensor.New32(n, dk)
+		vh := tensor.New32(n, dk)
+		scores := tensor.New32(n, n)
+		concat := tensor.New32(n, dim)
+		for _, l := range layers {
+			// x += attn(ln1(x))
+			ln := &tensor.Tensor32{R: x.R, C: x.C, Data: append([]float32(nil), x.Data...)}
+			tensor.LayerNormRows32(ln, l.g1, l.b1, l.eps1)
+			q := l.wq.forward(ln)
+			k := l.wk.forward(ln)
+			v := l.wv.forward(ln)
+			for h := 0; h < heads; h++ {
+				lo, hi := h*dk, (h+1)*dk
+				tensor.SliceColsInto32(qh, q, lo, hi)
+				tensor.SliceColsInto32(kh, k, lo, hi)
+				tensor.SliceColsInto32(vh, v, lo, hi)
+				tensor.MatMulBTInto32(scores, qh, kh)
+				tensor.Scale32(scores, scale)
+				tensor.SoftmaxRows32(scores, mask)
+				hd := tensor.New32(n, dk)
+				tensor.MatMulInto32(hd, scores, vh)
+				tensor.CopyCols32(concat, hd, lo)
+			}
+			tensor.AddInPlace32(x, l.wo.forward(concat))
+			// x += ffn(ln2(x))
+			ln2 := &tensor.Tensor32{R: x.R, C: x.C, Data: append([]float32(nil), x.Data...)}
+			tensor.LayerNormRows32(ln2, l.g2, l.b2, l.eps2)
+			hmid := l.ffnIn.forward(ln2)
+			tensor.ReLU32(hmid)
+			tensor.AddInPlace32(x, l.ffnOut.forward(hmid))
+		}
+		return float64(head.forward(pool32(x)))
+	}}
+}
+
+func newGCN32(m *GCN) *Forward32 {
+	layers := make([]lin32, len(m.layers))
+	for i, l := range m.layers {
+		layers[i] = snapLin(l.W.V, l.B.V)
+	}
+	head := snap32Head(m.head)
+	return &Forward32{predict: func(e *stage.Encoded) float64 {
+		x := e.X.ToFloat32()
+		adj := e.AdjNorm.ToFloat32()
+		for _, l := range layers {
+			agg := tensor.New32(x.R, x.C)
+			tensor.MatMulInto32(agg, adj, x)
+			x = l.forward(agg)
+			tensor.ReLU32(x)
+		}
+		return float64(head.forward(pool32(x)))
+	}}
+}
+
+func newGAT32(m *GAT) *Forward32 {
+	type head32 struct {
+		w          lin32
+		aSrc, aDst *tensor.Tensor32
+	}
+	type layer32 struct {
+		heads []head32
+	}
+	layers := make([]layer32, len(m.layers))
+	for i, l := range m.layers {
+		hs := make([]head32, l.numHeads)
+		for h := 0; h < l.numHeads; h++ {
+			hs[h] = head32{
+				w:    snapLin(l.w[h].W.V, l.w[h].B.V),
+				aSrc: l.aSrc[h].V.ToFloat32(),
+				aDst: l.aDst[h].V.ToFloat32(),
+			}
+		}
+		layers[i] = layer32{heads: hs}
+	}
+	head := snap32Head(m.head)
+	alpha := float32(m.cfg.Alpha)
+	hd := m.cfg.Dim / m.cfg.Heads
+	return &Forward32{predict: func(e *stage.Encoded) float64 {
+		n := e.N()
+		x := e.X.ToFloat32()
+		mask := e.NeighborMask.ToFloat32()
+		for _, l := range layers {
+			concat := tensor.New32(n, hd*len(l.heads))
+			for h, hh := range l.heads {
+				wh := hh.w.forward(x) // n×hd
+				s1 := tensor.New32(n, 1)
+				s2 := tensor.New32(n, 1)
+				tensor.MatMulInto32(s1, wh, hh.aSrc)
+				tensor.MatMulInto32(s2, wh, hh.aDst)
+				logits := tensor.New32(n, n)
+				tensor.AddOuterInto32(logits, s1, s2)
+				tensor.LeakyReLU32(logits, alpha)
+				tensor.SoftmaxRows32(logits, mask)
+				out := tensor.New32(n, hd)
+				tensor.MatMulInto32(out, logits, wh)
+				tensor.CopyCols32(concat, out, h*hd)
+			}
+			tensor.ReLU32(concat)
+			x = concat
+		}
+		return float64(head.forward(pool32(x)))
+	}}
+}

@@ -1,0 +1,69 @@
+package graphnn
+
+import (
+	"math"
+	"testing"
+
+	"predtop/internal/ag"
+)
+
+// f32RelTol is the pinned tolerance of the float32 inference path: every
+// prediction must land within this relative distance of the float64
+// reference. float32 carries ~7 significant digits and the deepest built-in
+// model stacks ~6 matmul/softmax layers, so 1e-3 leaves two orders of margin
+// over observed drift while still catching any structural divergence (a
+// wrong mask, a skipped bias) outright.
+const f32RelTol = 1e-3
+
+// TestFloat32ToleranceTable is the float32 determinism table: for every
+// architecture and every pool graph, the float32 forward must (a) match the
+// float64 reference within the pinned relative tolerance and (b) be exactly
+// reproducible run to run — reduced precision is allowed, nondeterminism is
+// not.
+func TestFloat32ToleranceTable(t *testing.T) {
+	pool := raggedPool(t)
+	for _, m := range raggedModels(23) {
+		t.Run(m.Name(), func(t *testing.T) {
+			f, err := NewForward32(m)
+			if err != nil {
+				t.Fatalf("NewForward32: %v", err)
+			}
+			for gi, e := range pool {
+				want := m.Predict(ag.NewContext(), e).Value().At(0, 0)
+				got := f.Predict(e)
+				denom := math.Abs(want)
+				if denom < 1e-9 {
+					denom = 1e-9
+				}
+				if rel := math.Abs(got-want) / denom; rel > f32RelTol {
+					t.Errorf("graph %d (n=%d): float32 %v vs float64 %v, rel err %.2e > %v",
+						gi, e.N(), got, want, rel, f32RelTol)
+				}
+				if again := f.Predict(e); math.Float64bits(again) != math.Float64bits(got) {
+					t.Errorf("graph %d: float32 path nondeterministic: %x != %x",
+						gi, math.Float64bits(again), math.Float64bits(got))
+				}
+			}
+		})
+	}
+}
+
+// TestFloat32SnapshotsWeights: the engine is a snapshot — mutating the model
+// after construction must not change its predictions.
+func TestFloat32SnapshotsWeights(t *testing.T) {
+	pool := raggedPool(t)
+	m := raggedModels(29)[0]
+	f, err := NewForward32(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := f.Predict(pool[0])
+	for _, p := range m.Params() {
+		for i := range p.V.Data {
+			p.V.Data[i] += 1
+		}
+	}
+	if after := f.Predict(pool[0]); after != before {
+		t.Fatalf("snapshot leaked: %v != %v after mutating model weights", after, before)
+	}
+}

@@ -1,0 +1,62 @@
+// Batched forwards: each building block gains a ForwardBatch twin that runs
+// B stacked graphs through the segmented/panel tape ops of internal/ag. Per
+// graph, results are bitwise identical to Forward on the graph alone — the
+// batched ops share their inner kernels with the serial path.
+package nn
+
+import (
+	"math"
+
+	"predtop/internal/ag"
+	"predtop/internal/tensor"
+)
+
+// ForwardBatch applies the layer to every panel's real rows of the stacked x.
+func (l *Linear) ForwardBatch(ctx *ag.Context, x *ag.Node, bl tensor.BatchLayout) *ag.Node {
+	return ctx.SegLinear(x, l.W, l.B, bl)
+}
+
+// ForwardBatch normalizes every panel's real rows of the stacked x.
+func (l *LayerNorm) ForwardBatch(ctx *ag.Context, x *ag.Node, bl tensor.BatchLayout) *ag.Node {
+	return ctx.SegLayerNorm(x, l.G, l.B, l.Eps, bl)
+}
+
+// ForwardBatch computes masked attention independently inside every panel of
+// the stacked x; masks[g] is graph g's additive Nᵍ×Nᵍ logit mask (−Inf
+// disables; nil masks none for that graph).
+func (m *MultiHeadAttention) ForwardBatch(ctx *ag.Context, x *ag.Node, masks []*tensor.Tensor, bl tensor.BatchLayout) *ag.Node {
+	q := m.Wq.ForwardBatch(ctx, x, bl)
+	k := m.Wk.ForwardBatch(ctx, x, bl)
+	v := m.Wv.ForwardBatch(ctx, x, bl)
+	dk := m.Dim / m.Heads
+	scale := 1 / math.Sqrt(float64(dk))
+	heads := make([]*ag.Node, m.Heads)
+	for h := 0; h < m.Heads; h++ {
+		lo, hi := h*dk, (h+1)*dk
+		qh := ctx.SliceCols(q, lo, hi)
+		kh := ctx.SliceCols(k, lo, hi)
+		vh := ctx.SliceCols(v, lo, hi)
+		// In-place scaling and softmax are safe for the same reason as the
+		// serial path: the producing ops differentiate through their inputs,
+		// never their outputs.
+		scores := ctx.ScaleInPlace(ctx.PanelMatMulBT(qh, kh, bl), scale)
+		attn := ctx.PanelSoftmaxInPlace(scores, masks, bl)
+		heads[h] = ctx.PanelMatMul(attn, vh, bl)
+	}
+	return m.Wo.ForwardBatch(ctx, ctx.ConcatCols(heads...), bl)
+}
+
+// ForwardBatch applies the FFN to every panel's real rows of the stacked x.
+func (f *FeedForward) ForwardBatch(ctx *ag.Context, x *ag.Node, bl tensor.BatchLayout) *ag.Node {
+	return f.Out.ForwardBatch(ctx, ctx.ReLU(f.In.ForwardBatch(ctx, x, bl)), bl)
+}
+
+// ForwardBatch maps the pooled B×in tensor to B×1 predictions. bl is the
+// stride-1 head layout (every row is one graph), which keeps the head's
+// parameter gradients sharded per graph like every other layer.
+func (h *MLPHead) ForwardBatch(ctx *ag.Context, x *ag.Node, bl tensor.BatchLayout) *ag.Node {
+	for _, l := range h.Hidden {
+		x = ctx.ReLU(l.ForwardBatch(ctx, x, bl))
+	}
+	return h.Out.ForwardBatch(ctx, x, bl)
+}

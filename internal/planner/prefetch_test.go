@@ -1,0 +1,89 @@
+package planner
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"predtop/internal/cluster"
+	"predtop/internal/graphnn"
+	"predtop/internal/predictor"
+	"predtop/internal/sim"
+	"predtop/internal/stage"
+)
+
+// TestPrefetchSweepBitwiseEqualsLazy: a provider built with PrefetchSweep
+// pre-fills its memo through fused batched forwards, and must answer every
+// stage query — inside the prefetch universe and beyond MaxStageLen, where
+// it falls back to the lazy path — with exactly the bits the lazy provider
+// produces. The planner must then emit an identical plan from either.
+func TestPrefetchSweepBitwiseEqualsLazy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	mdl := tinyModel()
+	p := cluster.Platform1()
+	build := func(prefetch bool) LatencyFn {
+		return TrainPredictorProvider(mdl, p, PredictorOptions{
+			Kind:          KindTransformer,
+			SampleFrac:    0.5,
+			MaxStageLen:   2,
+			Train:         predictor.TrainConfig{Epochs: 5, Patience: 5, BatchSize: 8},
+			Tran:          graphnn.TransformerConfig{Layers: 1, Dim: 16, Heads: 2},
+			Seed:          1,
+			PrefetchSweep: prefetch,
+		}, sim.DefaultProfiler(), &Meter{})
+	}
+	lazy := build(false)
+	swept := build(true)
+
+	for _, mesh := range cluster.Meshes(p) {
+		for _, sp := range stage.AllSpecs(mdl.NumSegments(), 0) {
+			a, aok := lazy(sp, mesh)
+			b, bok := swept(sp, mesh)
+			if aok != bok || math.Float64bits(a) != math.Float64bits(b) {
+				t.Fatalf("stage [%d,%d) on %v: lazy (%v, %v) != prefetched (%v, %v)",
+					sp.Lo, sp.Hi, mesh, a, aok, b, bok)
+			}
+		}
+	}
+
+	planA, okA := Optimize(mdl.NumSegments(), p, lazy, Options{Microbatches: 4})
+	planB, okB := Optimize(mdl.NumSegments(), p, swept, Options{Microbatches: 4})
+	if okA != okB {
+		t.Fatalf("plan feasibility diverged: lazy %v, prefetched %v", okA, okB)
+	}
+	if !reflect.DeepEqual(planA, planB) {
+		t.Fatalf("plans diverged:\nlazy:      %+v\nprefetched: %+v", planA, planB)
+	}
+}
+
+// TestPrefetchSweepChargesMeter: the sweep's inference shows up on the meter
+// at construction, and subsequent in-universe queries are memo hits.
+func TestPrefetchSweepChargesMeter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	mdl := tinyModel()
+	p := cluster.Platform1()
+	meter := &Meter{}
+	latFn := TrainPredictorProvider(mdl, p, PredictorOptions{
+		Kind:          KindTransformer,
+		SampleFrac:    0.5,
+		MaxStageLen:   2,
+		Train:         predictor.TrainConfig{Epochs: 3, Patience: 3, BatchSize: 8},
+		Tran:          graphnn.TransformerConfig{Layers: 1, Dim: 16, Heads: 2},
+		Seed:          1,
+		PrefetchSweep: true,
+	}, sim.DefaultProfiler(), meter)
+	if meter.InferSeconds <= 0 {
+		t.Fatal("prefetch sweep charged no inference cost")
+	}
+	if _, ok := latFn(stage.Spec{Lo: 1, Hi: 3}, cluster.Meshes(p)[1]); !ok {
+		t.Fatal("in-universe query failed")
+	}
+	if meter.CacheHits != 1 || meter.CacheMisses != 0 {
+		t.Fatalf("in-universe query missed the prefetched memo: hits=%d misses=%d",
+			meter.CacheHits, meter.CacheMisses)
+	}
+}

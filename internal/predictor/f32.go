@@ -1,0 +1,52 @@
+package predictor
+
+import (
+	"predtop/internal/graphnn"
+	"predtop/internal/stage"
+)
+
+// Float32Predictor is the opt-in reduced-precision inference engine: a
+// float32 snapshot of a trained model behind the same scale-and-floor
+// contract as Trained.PredictEncoded. It exists for deployments that trade
+// the float64 path's bitwise reproducibility for cheaper forwards; it is
+// never used unless explicitly requested (the serve daemon's Float32 config
+// flag, predtop-predict -float32). Predictions track the float64 path within
+// the tolerance pinned by the float32 determinism table and are themselves
+// deterministic run to run.
+type Float32Predictor struct {
+	f     *graphnn.Forward32
+	scale float64
+}
+
+// Float32 snapshots the trained model's weights into a float32 inference
+// engine. Weights are copied at call time; later training does not affect
+// the returned predictor.
+func (t Trained) Float32() (*Float32Predictor, error) {
+	f, err := graphnn.NewForward32(t.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &Float32Predictor{f: f, scale: t.Scale}, nil
+}
+
+// PredictEncoded returns the latency prediction in seconds, floored at 1% of
+// the label scale exactly like Trained.PredictEncoded.
+func (p *Float32Predictor) PredictEncoded(e *stage.Encoded) float64 {
+	pred := p.f.Predict(e) * p.scale
+	if floor := 0.01 * p.scale; pred < floor {
+		return floor
+	}
+	return pred
+}
+
+// PredictEncodedBatch predicts a batch serially in float32. The float32 path
+// has no fused batched forward — its win is per-element cost, not batching —
+// but the signature mirrors Trained.PredictEncodedBatch so callers can swap
+// paths without restructuring.
+func (p *Float32Predictor) PredictEncodedBatch(es []*stage.Encoded) []float64 {
+	out := make([]float64, len(es))
+	for i, e := range es {
+		out[i] = p.PredictEncoded(e)
+	}
+	return out
+}

@@ -47,6 +47,13 @@ type TrainConfig struct {
 	// either way — each worker tape owns a private arena, so this is purely
 	// a debugging/verification escape hatch.
 	NoArena bool
+	// SerialTapes disables the fused batched minibatch/evaluation forwards,
+	// running one tape per sample as earlier versions did. The batched tape
+	// shares its inner kernels with the serial path, so results are bitwise
+	// identical either way; like NoArena this is a verification escape
+	// hatch, not a tuning knob. Models that do not implement
+	// graphnn.BatchPredictor always take the serial path.
+	SerialTapes bool
 	// Hooks, when non-nil, observes training progress (per-epoch stats,
 	// early stop, weight restore) and receives hot-path metrics. Hooks only
 	// observe — they never perturb the shuffle, sharding, or reduction
@@ -173,6 +180,14 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 	params := model.Params()
 	opt := optim.NewAdam(params)
 
+	// Fused batched path: each minibatch (and evaluation chunk) runs as one
+	// tape over a padded stack of graphs, with parameter gradients sharded
+	// per panel into the same per-slot buffers the per-sample tapes fill.
+	// The batched ops share their inner kernels with the serial ones, so
+	// both paths train bitwise-identical weights.
+	bm, hasBatch := model.(graphnn.BatchPredictor)
+	batched := hasBatch && !cfg.SerialTapes
+
 	// Phase spans nest under one "train" root; with no profiler attached
 	// every span below is the inert zero Span (guarded, like the metrics
 	// instruments, by TestNilRegistryHotPathZeroAlloc).
@@ -199,26 +214,66 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 			return 0
 		}
 		es := trainSpan.Start("eval")
-		total := parallel.MapReduce(len(idx), cfg.Workers, func(k int) float64 {
-			s := &ds.Samples[idx[k]]
-			ctx := ctxPool.Get()
-			ctx.Reset()
-			ss := es.Start("sample")
-			ctx.SetSpan(ss)
-			pred := model.Predict(ctx, s.Encoded).Value().At(0, 0)
-			ss.End()
-			ctxPool.Put(ctx)
-			diff := pred - s.Measured/scale
-			if cfg.Loss == MSE {
-				return diff * diff
+		var total float64
+		if batched {
+			// Fused evaluation: BatchSize graphs share one forward per
+			// chunk. vals is filled at the same indices the per-sample
+			// MapReduce would use and folded through the identical tree, so
+			// the mean is bitwise unchanged.
+			vals := make([]float64, len(idx))
+			encs := make([]*stage.Encoded, len(idx))
+			for k, i := range idx {
+				encs[k] = ds.Samples[i].Encoded
 			}
-			return math.Abs(diff)
-		}, func(a, b float64) float64 { return a + b })
+			nchunks := (len(idx) + cfg.BatchSize - 1) / cfg.BatchSize
+			parallel.ForLimit(nchunks, cfg.Workers, func(ci int) {
+				lo := ci * cfg.BatchSize
+				hi := lo + cfg.BatchSize
+				if hi > len(idx) {
+					hi = len(idx)
+				}
+				ctx := ctxPool.Get()
+				ctx.Reset()
+				ss := es.Start("sample")
+				ctx.SetSpan(ss)
+				if nb, err := stage.NewBatch(encs[lo:hi], ctx.Arena()); err == nil {
+					preds := bm.PredictBatch(ctx, nb).Value()
+					for k := lo; k < hi; k++ {
+						vals[k] = sampleLoss(preds.Data[k-lo], ds.Samples[idx[k]].Measured/scale, cfg.Loss)
+					}
+				} else {
+					// Graphs that cannot pool (zero nodes) evaluate one by
+					// one on the same tape.
+					for k := lo; k < hi; k++ {
+						p := model.Predict(ctx, encs[k]).Value().At(0, 0)
+						vals[k] = sampleLoss(p, ds.Samples[idx[k]].Measured/scale, cfg.Loss)
+					}
+				}
+				ss.End()
+				ctxPool.Put(ctx)
+			})
+			total = parallel.TreeReduce(vals, func(a, b float64) float64 { return a + b })
+		} else {
+			total = parallel.MapReduce(len(idx), cfg.Workers, func(k int) float64 {
+				s := &ds.Samples[idx[k]]
+				ctx := ctxPool.Get()
+				ctx.Reset()
+				ss := es.Start("sample")
+				ctx.SetSpan(ss)
+				pred := model.Predict(ctx, s.Encoded).Value().At(0, 0)
+				ss.End()
+				ctxPool.Put(ctx)
+				return sampleLoss(pred, s.Measured/scale, cfg.Loss)
+			}, func(a, b float64) float64 { return a + b })
+		}
 		es.End()
 		return total / float64(len(idx))
 	}
 
 	// One gradient shard per minibatch slot, each with a dedicated tape.
+	// The batched path shares one tape across the whole minibatch but still
+	// fills the same per-slot shards (per panel instead of per tape); the
+	// dedicated tapes remain the fallback for graphs that cannot pool.
 	bufs := make([]*ag.GradBuffer, cfg.BatchSize)
 	tapes := make([]*ag.Context, cfg.BatchSize)
 	for i := range bufs {
@@ -227,6 +282,15 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 		if cfg.NoArena {
 			tapes[i].SetArena(nil)
 		}
+	}
+	var btape *ag.Context
+	var bencs []*stage.Encoded
+	if batched {
+		btape = ag.NewContext()
+		if cfg.NoArena {
+			btape.SetArena(nil)
+		}
+		bencs = make([]*stage.Encoded, cfg.BatchSize)
 	}
 
 	// Instruments resolve to nil on a nil registry, making every hot-path
@@ -252,6 +316,72 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 	res := TrainResult{Scale: scale}
 	lossVals := make([]float64, cfg.BatchSize)
 
+	// runSerialBatch is the per-sample minibatch: one tape and shard per
+	// sample, data-parallel across workers.
+	runSerialBatch := func(batch []int, bs obs.Span) {
+		parallel.ForLimit(len(batch), cfg.Workers, func(k int) {
+			s := &ds.Samples[batch[k]]
+			ctx := tapes[k]
+			ctx.Reset()
+			bufs[k].Zero()
+			// Per-sample span: the model's layer marks nest under it
+			// for forward timing, and Backward hangs its per-layer
+			// attribution subtree off the same node.
+			ss := bs.Start("sample")
+			ctx.SetSpan(ss)
+			pred := model.Predict(ctx, s.Encoded)
+			var loss *ag.Node
+			if cfg.Loss == MSE {
+				loss = ctx.MSELossScalar(pred, s.Measured/scale)
+			} else {
+				loss = ctx.MAELossScalar(pred, s.Measured/scale)
+			}
+			lossVals[k] = loss.Value().At(0, 0)
+			ctx.Backward(loss)
+			ss.End()
+		})
+	}
+
+	// runBatchedBatch fuses the whole minibatch into one tape. Reports false
+	// (without touching weights) when the batch cannot pool, so the caller
+	// falls back to the per-sample loop.
+	runBatchedBatch := func(batch []int, bs obs.Span) bool {
+		ctx := btape
+		ctx.Reset()
+		for k, bi := range batch {
+			bufs[k].Zero()
+			bencs[k] = ds.Samples[bi].Encoded
+		}
+		nb, err := stage.NewBatch(bencs[:len(batch)], ctx.Arena())
+		if err != nil {
+			return false
+		}
+		ctx.SetShards(bufs[:len(batch)])
+		// One span covers the fused forward/backward; the model's layer
+		// marks nest under it exactly as they would on a per-sample tape.
+		ss := bs.Start("sample")
+		ctx.SetSpan(ss)
+		pred := bm.PredictBatch(ctx, nb)
+		targets := ctx.Arena().GetUninit(len(batch), 1)
+		for k, bi := range batch {
+			targets.Data[k] = ds.Samples[bi].Measured / scale
+		}
+		// Per-row losses with no mean reduction: BackwardVec seeds every row
+		// with 1, which is exactly the gradient MeanAll over a 1×1 scalar
+		// hands the serial loss, so gradients land bitwise identical.
+		diff := ctx.Sub(pred, ctx.Const(targets))
+		var loss *ag.Node
+		if cfg.Loss == MSE {
+			loss = ctx.Square(diff)
+		} else {
+			loss = ctx.Abs(diff)
+		}
+		copy(lossVals[:len(batch)], loss.Value().Data)
+		ctx.BackwardVec(loss)
+		ss.End()
+		return true
+	}
+
 	order := append([]int{}, trainIdx...)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		et := epochTimer.Start()
@@ -268,27 +398,9 @@ func Train(model graphnn.Model, ds *Dataset, trainIdx, valIdx []int, cfg TrainCo
 			batch := order[lo:hi]
 			bt := batchTimer.Start()
 			bs := trainSpan.Start("batch")
-			parallel.ForLimit(len(batch), cfg.Workers, func(k int) {
-				s := &ds.Samples[batch[k]]
-				ctx := tapes[k]
-				ctx.Reset()
-				bufs[k].Zero()
-				// Per-sample span: the model's layer marks nest under it
-				// for forward timing, and Backward hangs its per-layer
-				// attribution subtree off the same node.
-				ss := bs.Start("sample")
-				ctx.SetSpan(ss)
-				pred := model.Predict(ctx, s.Encoded)
-				var loss *ag.Node
-				if cfg.Loss == MSE {
-					loss = ctx.MSELossScalar(pred, s.Measured/scale)
-				} else {
-					loss = ctx.MAELossScalar(pred, s.Measured/scale)
-				}
-				lossVals[k] = loss.Value().At(0, 0)
-				ctx.Backward(loss)
-				ss.End()
-			})
+			if !batched || !runBatchedBatch(batch, bs) {
+				runSerialBatch(batch, bs)
+			}
 			st := bs.Start("step")
 			optim.ReduceGrads(params, bufs[:len(batch)])
 			optim.ScaleGrads(params, 1/float64(len(batch)))
@@ -387,19 +499,72 @@ func (t Trained) PredictGraph(s *Sample) float64 {
 	return t.PredictEncoded(s.Encoded)
 }
 
+// predictBatchChunk bounds how many graphs fuse into one padded stack: past
+// this, padding waste and the stacked tensors' cache footprint grow without
+// amortizing any more per-graph tape overhead.
+const predictBatchChunk = 64
+
 // PredictEncodedBatch predicts a whole batch of encoded stage graphs in one
-// call, fanning the batch across the pooled prediction contexts (workers
-// bounds the goroutines: 0 = GOMAXPROCS, 1 = serial). This is the batched
+// call. When the model batches (all built-in architectures do), chunks of up
+// to 64 graphs fuse into a single padded forward on one pooled tape; chunks
+// fan across workers (0 = GOMAXPROCS, 1 = serial). This is the batched
 // forward the serving daemon's request coalescer drives. Each out[i] is
-// bitwise identical to PredictEncoded(es[i]) at any worker count — every
-// graph still runs its own forward on a private pooled tape, so batching is
-// pure amortization, never a numerical change.
+// bitwise identical to PredictEncoded(es[i]) at any worker count and any
+// chunking — panels of the padded stack never mix, so batching is pure
+// amortization, never a numerical change.
 func (t Trained) PredictEncodedBatch(es []*stage.Encoded, workers int) []float64 {
 	out := make([]float64, len(es))
-	parallel.ForLimit(len(es), workers, func(k int) {
-		out[k] = t.PredictEncoded(es[k])
+	bm, ok := t.Model.(graphnn.BatchPredictor)
+	if !ok {
+		parallel.ForLimit(len(es), workers, func(k int) {
+			out[k] = t.PredictEncoded(es[k])
+		})
+		return out
+	}
+	nchunks := (len(es) + predictBatchChunk - 1) / predictBatchChunk
+	parallel.ForLimit(nchunks, workers, func(ci int) {
+		lo := ci * predictBatchChunk
+		hi := lo + predictBatchChunk
+		if hi > len(es) {
+			hi = len(es)
+		}
+		t.predictFusedChunk(bm, es[lo:hi], out[lo:hi])
 	})
 	return out
+}
+
+// predictFusedChunk runs one chunk as a single padded batched forward,
+// falling back to per-graph predictions when the chunk cannot pool (a graph
+// with zero nodes).
+func (t Trained) predictFusedChunk(bm graphnn.BatchPredictor, es []*stage.Encoded, out []float64) {
+	ctx := predictCtxs.Get().(*ag.Context)
+	nb, err := stage.NewBatch(es, ctx.Arena())
+	if err != nil {
+		predictCtxs.Put(ctx)
+		for i, e := range es {
+			out[i] = t.PredictEncoded(e)
+		}
+		return
+	}
+	preds := bm.PredictBatch(ctx, nb).Value()
+	floor := 0.01 * t.Scale
+	for i := range out {
+		p := preds.Data[i] * t.Scale
+		if p < floor {
+			p = floor
+		}
+		out[i] = p
+	}
+	ctx.Reset()
+	predictCtxs.Put(ctx)
+}
+
+// SupportsBatch reports whether the model fuses whole batches into single
+// padded forwards; the serving daemon uses this to count fused coalescer
+// groups.
+func (t Trained) SupportsBatch() bool {
+	_, ok := t.Model.(graphnn.BatchPredictor)
+	return ok
 }
 
 // MRE computes the mean relative error (Eqn 5, in percent) of the trained
@@ -419,19 +584,15 @@ func (t Trained) MREWith(ds *Dataset, idx []int, mon *obs.AccuracyMonitor, key o
 	if len(idx) == 0 {
 		return 0
 	}
-	errs := make([]float64, len(idx))
-	var preds []float64
-	if mon != nil {
-		preds = make([]float64, len(idx))
+	es := make([]*stage.Encoded, len(idx))
+	for k, i := range idx {
+		es[k] = ds.Samples[i].Encoded
 	}
-	parallel.ForLimit(len(idx), 0, func(k int) {
-		s := &ds.Samples[idx[k]]
-		pred := t.PredictGraph(s)
-		errs[k] = math.Abs(pred-s.Measured) / s.Measured
-		if preds != nil {
-			preds[k] = pred
-		}
-	})
+	preds := t.PredictEncodedBatch(es, 0)
+	errs := make([]float64, len(idx))
+	for k, i := range idx {
+		errs[k] = math.Abs(preds[k]-ds.Samples[i].Measured) / ds.Samples[i].Measured
+	}
 	if mon != nil {
 		for k := range preds {
 			mon.Observe(key, preds[k], ds.Samples[idx[k]].Measured)
@@ -439,6 +600,16 @@ func (t Trained) MREWith(ds *Dataset, idx []int, mon *obs.AccuracyMonitor, key o
 	}
 	total := parallel.TreeReduce(errs, func(a, b float64) float64 { return a + b })
 	return total / float64(len(idx)) * 100
+}
+
+// sampleLoss is one sample's contribution to the training objective, shared
+// by the serial and batched evaluation paths.
+func sampleLoss(pred, target float64, l Loss) float64 {
+	diff := pred - target
+	if l == MSE {
+		return diff * diff
+	}
+	return math.Abs(diff)
 }
 
 func snapshot(params []*ag.Param) []*tensor.Tensor {

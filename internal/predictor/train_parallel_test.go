@@ -10,6 +10,7 @@ import (
 
 	"predtop/internal/graphnn"
 	"predtop/internal/obs"
+	"predtop/internal/tensor"
 )
 
 func buildArch(name string, seed int64) graphnn.Model {
@@ -46,10 +47,13 @@ func TestParallelTrainingBitwiseDeterministic(t *testing.T) {
 
 	for _, arch := range []string{"Tran", "GCN", "GAT"} {
 		t.Run(arch, func(t *testing.T) {
-			run := func(workers int, hooked, noArena bool) (Trained, TrainResult) {
+			run := func(workers int, hooked, noArena, serialTapes, simdOff bool) (Trained, TrainResult) {
+				if simdOff {
+					defer tensor.SetSIMD(tensor.SetSIMD(false))
+				}
 				cfg := TrainConfig{
 					Epochs: 3, Patience: 3, BatchSize: 5, Seed: 13, Workers: workers,
-					NoArena: noArena,
+					NoArena: noArena, SerialTapes: serialTapes,
 				}
 				if hooked {
 					// The hooked case carries the full observation surface
@@ -73,50 +77,72 @@ func TestParallelTrainingBitwiseDeterministic(t *testing.T) {
 				}
 				return Train(buildArch(arch, 42), ds, trainIdx, valIdx, cfg)
 			}
-			ref, refRes := run(1, false, false)
+			ref, refRes := run(1, false, false, false, false)
 			// The determinism table: every worker count, instrumented and
-			// not, with arena reuse on (default) and off, must match the
+			// not, with arena reuse on (default) and off, plus the fused
+			// batched forwards vs per-sample tapes (SerialTapes) and the
+			// AVX2 kernels vs the scalar path (SIMD off), must all match the
 			// serial uninstrumented arena-on reference bitwise.
+			type row struct {
+				workers                               int
+				hooked, noArena, serialTapes, simdOff bool
+			}
+			var rows []row
 			for _, workers := range []int{1, 4, 7} {
 				for _, hooked := range []bool{false, true} {
 					for _, noArena := range []bool{false, true} {
 						if workers == 1 && !hooked && !noArena {
 							continue
 						}
-						got, gotRes := run(workers, hooked, noArena)
-						label := fmt.Sprintf("workers=%d hooks=%v arena=%v", workers, hooked, !noArena)
-						if math.Float64bits(gotRes.BestValLoss) != math.Float64bits(refRes.BestValLoss) {
-							t.Fatalf("%s BestValLoss %v != %v", label, gotRes.BestValLoss, refRes.BestValLoss)
-						}
-						if gotRes.EpochsRun != refRes.EpochsRun {
-							t.Fatalf("%s EpochsRun %d != %d", label, gotRes.EpochsRun, refRes.EpochsRun)
-						}
-						if gotRes.BestEpoch != refRes.BestEpoch {
-							t.Fatalf("%s BestEpoch %d != %d", label, gotRes.BestEpoch, refRes.BestEpoch)
-						}
-						if len(gotRes.History) != len(refRes.History) {
-							t.Fatalf("%s history length %d != %d", label, len(gotRes.History), len(refRes.History))
-						}
-						for e := range refRes.History {
-							a, b := refRes.History[e], gotRes.History[e]
-							if math.Float64bits(a.TrainLoss) != math.Float64bits(b.TrainLoss) ||
-								math.Float64bits(a.ValLoss) != math.Float64bits(b.ValLoss) ||
-								math.Float64bits(a.GradNorm) != math.Float64bits(b.GradNorm) {
-								t.Fatalf("%s history[%d] diverged: %+v != %+v", label, e, b, a)
-							}
-						}
-						refP, gotP := ref.Model.Params(), got.Model.Params()
-						if len(refP) != len(gotP) {
-							t.Fatalf("param count mismatch")
-						}
-						for i := range refP {
-							for j := range refP[i].V.Data {
-								a, b := refP[i].V.Data[j], gotP[i].V.Data[j]
-								if math.Float64bits(a) != math.Float64bits(b) {
-									t.Fatalf("%s param %s[%d]: %x != %x",
-										label, refP[i].Name, j, math.Float64bits(a), math.Float64bits(b))
-								}
-							}
+						rows = append(rows, row{workers, hooked, noArena, false, false})
+					}
+				}
+			}
+			rows = append(rows,
+				row{1, false, false, true, false}, // per-sample tapes, serial
+				row{4, false, false, true, false}, // per-sample tapes, parallel
+				row{1, false, false, false, true}, // scalar kernels, fused batches
+				row{4, true, false, false, true},  // scalar kernels, instrumented
+				row{1, false, false, true, true},  // scalar kernels, per-sample tapes
+			)
+			if !tensor.SIMDAvailable() {
+				// Without AVX2 the simdOff rows duplicate existing ones.
+				rows = rows[:len(rows)-3]
+			}
+			for _, rw := range rows {
+				got, gotRes := run(rw.workers, rw.hooked, rw.noArena, rw.serialTapes, rw.simdOff)
+				label := fmt.Sprintf("workers=%d hooks=%v arena=%v serialTapes=%v simd=%v",
+					rw.workers, rw.hooked, !rw.noArena, rw.serialTapes, !rw.simdOff)
+				if math.Float64bits(gotRes.BestValLoss) != math.Float64bits(refRes.BestValLoss) {
+					t.Fatalf("%s BestValLoss %v != %v", label, gotRes.BestValLoss, refRes.BestValLoss)
+				}
+				if gotRes.EpochsRun != refRes.EpochsRun {
+					t.Fatalf("%s EpochsRun %d != %d", label, gotRes.EpochsRun, refRes.EpochsRun)
+				}
+				if gotRes.BestEpoch != refRes.BestEpoch {
+					t.Fatalf("%s BestEpoch %d != %d", label, gotRes.BestEpoch, refRes.BestEpoch)
+				}
+				if len(gotRes.History) != len(refRes.History) {
+					t.Fatalf("%s history length %d != %d", label, len(gotRes.History), len(refRes.History))
+				}
+				for e := range refRes.History {
+					a, b := refRes.History[e], gotRes.History[e]
+					if math.Float64bits(a.TrainLoss) != math.Float64bits(b.TrainLoss) ||
+						math.Float64bits(a.ValLoss) != math.Float64bits(b.ValLoss) ||
+						math.Float64bits(a.GradNorm) != math.Float64bits(b.GradNorm) {
+						t.Fatalf("%s history[%d] diverged: %+v != %+v", label, e, b, a)
+					}
+				}
+				refP, gotP := ref.Model.Params(), got.Model.Params()
+				if len(refP) != len(gotP) {
+					t.Fatalf("param count mismatch")
+				}
+				for i := range refP {
+					for j := range refP[i].V.Data {
+						a, b := refP[i].V.Data[j], gotP[i].V.Data[j]
+						if math.Float64bits(a) != math.Float64bits(b) {
+							t.Fatalf("%s param %s[%d]: %x != %x",
+								label, refP[i].Name, j, math.Float64bits(a), math.Float64bits(b))
 						}
 					}
 				}

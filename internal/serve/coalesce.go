@@ -17,6 +17,12 @@ const (
 	BatchSizeMetric       = "predtop_serve_batch_size"
 	BatchMaxMetric        = "predtop_serve_batch_max"
 	QueueDepthMetric      = "predtop_serve_queue_depth"
+	// BatchFusedMetric counts per-model groups that ran through the fused
+	// batched forward (one blocked matmul over the padded graph stack) rather
+	// than a per-graph loop; PadWasteMetric records the fraction of that
+	// padded stack spent on padding rows, 1 − Σnᵢ/(B·max nᵢ).
+	BatchFusedMetric = "predtop_serve_batch_fused_total"
+	PadWasteMetric   = "predtop_serve_batch_pad_waste"
 )
 
 // errCoalescerClosed is returned by submit after close — the server maps it
@@ -64,6 +70,13 @@ type coalescer struct {
 	maxGauge *obs.Gauge
 	depth    *obs.Gauge // live queue depth: +1 on submit, -1 on dequeue
 	maxSeen  int        // dispatcher-only; mirrors into maxGauge
+	fused    *obs.Counter
+	padWaste *obs.Histogram
+
+	// float32For, when set, resolves a predictor to its reduced-precision
+	// engine; a non-nil result routes that group through float32 instead of
+	// the fused float64 forward. Left nil unless Config.Float32 is on.
+	float32For func(predictor.Trained) *predictor.Float32Predictor
 
 	// beforeForward, when set, runs ahead of every batched forward (inside
 	// the forward phase window) with the batch size — the hook the SLO e2e
@@ -74,6 +87,12 @@ type coalescer struct {
 // batchSizeBuckets: 1, 2, 4, … 128 — batch size 1 lands in the first bucket,
 // so `_bucket{le="1"}` < `_count` is the "batching actually happened" signal.
 var batchSizeBuckets = obs.MustExpBuckets(1, 2, 8)
+
+// padWasteBuckets partitions the [0, 1) pad-waste fraction. A B=1 or
+// all-equal batch observes exactly 0 and lands in the first bucket; the tail
+// buckets catch pathologically skewed batches where one giant graph pads
+// everything else.
+var padWasteBuckets = []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9}
 
 // newCoalescer builds an idle coalescer; call start to launch the dispatcher.
 // window > 0 waits up to that long to fill a batch after its first job;
@@ -92,6 +111,8 @@ func newCoalescer(maxBatch int, window time.Duration, workers int, metrics *obs.
 		sizeHist: metrics.Histogram(BatchSizeMetric, batchSizeBuckets),
 		maxGauge: metrics.Gauge(BatchMaxMetric),
 		depth:    metrics.Gauge(QueueDepthMetric),
+		fused:    metrics.Counter(BatchFusedMetric),
+		padWaste: metrics.Histogram(PadWasteMetric, padWasteBuckets),
 	}
 }
 
@@ -203,7 +224,16 @@ func (c *coalescer) run(batch []*predictJob) {
 		if c.beforeForward != nil {
 			c.beforeForward(len(batch))
 		}
-		outs := tr.PredictEncodedBatch(g.encs, c.workers)
+		var outs []float64
+		if f := c.lookupFloat32(tr); f != nil {
+			outs = f.PredictEncodedBatch(g.encs)
+		} else {
+			outs = tr.PredictEncodedBatch(g.encs, c.workers)
+			if tr.SupportsBatch() {
+				c.fused.Inc()
+				c.padWaste.Observe(padWasteFraction(g.encs))
+			}
+		}
 		t1 := time.Now()
 		for k, i := range g.idx {
 			batch[i].out = outs[k]
@@ -221,4 +251,32 @@ func (c *coalescer) run(batch []*predictJob) {
 		c.maxSeen = len(batch)
 		c.maxGauge.Set(float64(c.maxSeen))
 	}
+}
+
+// lookupFloat32 resolves tr's float32 engine, or nil when the float64 path
+// should run (float32 serving off, or no engine built for this predictor).
+func (c *coalescer) lookupFloat32(tr predictor.Trained) *predictor.Float32Predictor {
+	if c.float32For == nil {
+		return nil
+	}
+	return c.float32For(tr)
+}
+
+// padWasteFraction is the share of the padded batch stack occupied by padding
+// rows: 1 − Σnᵢ/(B·max nᵢ). Zero for B=1 and all-equal batches; approaches 1
+// as one large graph pads out many small ones. Mirrors
+// tensor.BatchLayout.PadWasteFraction without building the layout.
+func padWasteFraction(encs []*stage.Encoded) float64 {
+	maxN, sum := 0, 0
+	for _, e := range encs {
+		n := e.N()
+		sum += n
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN == 0 {
+		return 0
+	}
+	return 1 - float64(sum)/float64(len(encs)*maxN)
 }

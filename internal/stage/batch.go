@@ -1,0 +1,101 @@
+package stage
+
+import (
+	"errors"
+
+	"predtop/internal/tensor"
+)
+
+// Batch is B encoded stage graphs stacked into one padded feature tensor for
+// the fused batched forward (tensor.BatchLayout describes the panels). The
+// per-graph masks and adjacencies are referenced, not copied — panel kernels
+// consume them at each graph's own node count, so padding never needs mask
+// entries.
+type Batch struct {
+	Layout tensor.BatchLayout
+	// X is the (B·Stride)×FeatureDim stacked feature matrix; pad rows are
+	// zero.
+	X *tensor.Tensor
+	// Reach, Neighbor, and Adj hold each graph's ReachMask, NeighborMask,
+	// and AdjNorm (all Nᵍ×Nᵍ).
+	Reach    []*tensor.Tensor
+	Neighbor []*tensor.Tensor
+	Adj      []*tensor.Tensor
+	// Depths holds each graph's DAGPE positional indices.
+	Depths [][]int
+	// HeadLayout is the stride-1 layout of the pooled B×C head input, so the
+	// prediction head's parameter gradients still shard per graph.
+	HeadLayout tensor.BatchLayout
+}
+
+// ErrEmptyGraph rejects batching a graph with zero nodes: an empty panel has
+// no rows to pool, so its "prediction" would be an artifact of padding.
+var ErrEmptyGraph = errors.New("stage: cannot batch an empty graph")
+
+// headCounts is the all-ones Counts table shared by every stride-1 head
+// layout (batches are bounded well below its length; larger batches fall
+// back to an allocation).
+var headCounts = func() []int {
+	ones := make([]int, 256)
+	for i := range ones {
+		ones[i] = 1
+	}
+	return ones
+}()
+
+// NewBatch stacks encoded graphs into a padded Batch. The feature tensor is
+// drawn from a (zeroed, so pads need no extra clearing) — pass nil to
+// allocate from the heap. Graphs with zero nodes are rejected with
+// ErrEmptyGraph.
+func NewBatch(es []*Encoded, a *tensor.Arena) (*Batch, error) {
+	b := len(es)
+	stride := 0
+	counts := make([]int, b)
+	for i, e := range es {
+		n := e.X.R
+		if n == 0 {
+			return nil, ErrEmptyGraph
+		}
+		counts[i] = n
+		if n > stride {
+			stride = n
+		}
+	}
+	l := tensor.BatchLayout{B: b, Stride: stride, Counts: counts}
+	// Real rows are fully overwritten by the copies below, so only pad rows
+	// need explicit zeroing — cheaper than clearing the whole block when the
+	// batch is nearly rectangular.
+	var x *tensor.Tensor
+	if a != nil {
+		x = a.GetUninit(l.Rows(), FeatureDim)
+		for i, c := range counts {
+			clear(x.Data[(i*stride+c)*FeatureDim : (i+1)*stride*FeatureDim])
+		}
+	} else {
+		x = tensor.New(l.Rows(), FeatureDim)
+	}
+	nb := &Batch{
+		Layout:   l,
+		X:        x,
+		Reach:    make([]*tensor.Tensor, b),
+		Neighbor: make([]*tensor.Tensor, b),
+		Adj:      make([]*tensor.Tensor, b),
+		Depths:   make([][]int, b),
+	}
+	for i, e := range es {
+		copy(x.Data[i*stride*FeatureDim:], e.X.Data)
+		nb.Reach[i] = e.ReachMask
+		nb.Neighbor[i] = e.NeighborMask
+		nb.Adj[i] = e.AdjNorm
+		nb.Depths[i] = e.Depths
+	}
+	hc := headCounts
+	if b > len(hc) {
+		hc = make([]int, b)
+		for i := range hc {
+			hc[i] = 1
+		}
+	}
+	nb.HeadLayout = tensor.BatchLayout{B: b, Stride: 1, Counts: hc[:b]}
+	return nb, nil
+}

@@ -1,0 +1,494 @@
+// Batched (segmented) kernels: B stage graphs of like shape execute as one
+// blocked operation over a padded, stacked tensor instead of B small ones.
+//
+// Layout. A batch of B graphs with node counts Counts[g] ≤ Stride is stacked
+// into one row-major (B·Stride)×C tensor: graph g owns the row panel
+// [g·Stride, g·Stride+Counts[g]) and the remaining Stride−Counts[g] rows are
+// padding. Every kernel below computes only the real rows of each panel and
+// fully defines (clears) the pad rows of its destination, so padding never
+// feeds a reduction and uninitialized arena buffers never leak.
+//
+// Score-space ("panel-width") tensors hold each graph's node×node attention
+// scores: panel g's row i uses only the first Counts[g] columns of its
+// Stride-wide row; columns [Counts[g], Stride) are kept zero.
+//
+// Bitwise contract. Each segmented kernel calls the same inner row kernels
+// (matmulRowKernel, matmulBTRowKernel, matmulATRows, the softmax row loop)
+// as the serial per-graph path, over the same operand ranges in the same
+// order, so every real row is bitwise identical to running the graphs one at
+// a time. The batched forward is pure amortization, never a numerical
+// change.
+package tensor
+
+import "math"
+
+// BatchLayout describes how B ragged graphs are stacked into one padded
+// tensor: graph g's rows occupy [g·Stride, g·Stride+Counts[g]).
+type BatchLayout struct {
+	B      int   // number of graphs
+	Stride int   // rows reserved per graph (max node count in the batch)
+	Counts []int // real rows per graph; len == B, each in [1, Stride]
+}
+
+// Rows returns the stacked row count B·Stride.
+func (l BatchLayout) Rows() int { return l.B * l.Stride }
+
+// Padded reports whether any panel has pad rows.
+func (l BatchLayout) Padded() bool {
+	for _, c := range l.Counts {
+		if c != l.Stride {
+			return true
+		}
+	}
+	return false
+}
+
+// PadWasteFraction is the fraction of stacked rows that are padding —
+// 1 − ΣCounts/(B·Stride) — the price of ragged node counts.
+func (l BatchLayout) PadWasteFraction() float64 {
+	if l.B == 0 || l.Stride == 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range l.Counts {
+		n += c
+	}
+	return 1 - float64(n)/float64(l.Rows())
+}
+
+func checkSeg(t *Tensor, l BatchLayout, op string) {
+	if t.R != l.Rows() {
+		shapePanic("%s stacked tensor has %d rows, layout wants %d", op, t.R, l.Rows())
+	}
+}
+
+// clearRows zeroes rows [lo, hi) of t.
+func clearRows(t *Tensor, lo, hi int) {
+	clear(t.Data[lo*t.C : hi*t.C])
+}
+
+// SegLinearInto computes dst = x·w + bias on the real rows of every panel
+// (bitwise-identical to per-graph LinearInto) and clears pad rows. w and
+// bias are shared across panels. dst must not alias x, w, or bias.
+func SegLinearInto(dst, x, w, bias *Tensor, l BatchLayout) {
+	if x.C != w.R {
+		shapePanic("SegLinear shape mismatch %dx%d · %dx%d", x.R, x.C, w.R, w.C)
+	}
+	checkInto(dst, x.R, w.C, "SegLinearInto")
+	checkSeg(x, l, "SegLinearInto")
+	if !l.Padded() {
+		linearRowRange(dst, x, w, bias, 0, x.R)
+		return
+	}
+	for g := 0; g < l.B; g++ {
+		lo := g * l.Stride
+		hi := lo + l.Counts[g]
+		linearRowRange(dst, x, w, bias, lo, hi)
+		clearRows(dst, hi, lo+l.Stride)
+	}
+}
+
+// SegMatMulInto computes dst = x·b on the real rows of every panel with b
+// shared across panels, clearing pad rows. dst must not alias x or b.
+func SegMatMulInto(dst, x, b *Tensor, l BatchLayout) {
+	if x.C != b.R {
+		shapePanic("SegMatMul shape mismatch %dx%d · %dx%d", x.R, x.C, b.R, b.C)
+	}
+	checkInto(dst, x.R, b.C, "SegMatMulInto")
+	checkSeg(x, l, "SegMatMulInto")
+	if !l.Padded() {
+		matmulRowRange(dst, x, b, 0, x.R)
+		return
+	}
+	for g := 0; g < l.B; g++ {
+		lo := g * l.Stride
+		hi := lo + l.Counts[g]
+		matmulRowRange(dst, x, b, lo, hi)
+		clearRows(dst, hi, lo+l.Stride)
+	}
+}
+
+// SegMatMulBTInto computes dst = g·bᵀ on the real rows of every panel with b
+// shared across panels (the dX kernel of the segmented linear backward),
+// clearing pad rows. dst must not alias g or b.
+func SegMatMulBTInto(dst, g, b *Tensor, l BatchLayout) {
+	if g.C != b.C {
+		shapePanic("SegMatMulBT shape mismatch %dx%d · (%dx%d)ᵀ", g.R, g.C, b.R, b.C)
+	}
+	checkInto(dst, g.R, b.R, "SegMatMulBTInto")
+	checkSeg(g, l, "SegMatMulBTInto")
+	if !l.Padded() {
+		matmulBTRowRange(dst, g, b, 0, g.R)
+		return
+	}
+	for p := 0; p < l.B; p++ {
+		lo := p * l.Stride
+		hi := lo + l.Counts[p]
+		matmulBTRowRange(dst, g, b, lo, hi)
+		clearRows(dst, hi, lo+l.Stride)
+	}
+}
+
+// MatMulATRangeInto computes dst = a[i0:i1]ᵀ · b[i0:i1] — the weight
+// gradient of one panel's rows — bitwise-identical to MatMulATInto over the
+// panel copied out as its own tensor. dst must not alias a or b.
+func MatMulATRangeInto(dst, a, b *Tensor, i0, i1 int) {
+	if a.R != b.R {
+		shapePanic("MatMulATRange shape mismatch (%dx%d)ᵀ · %dx%d", a.R, a.C, b.R, b.C)
+	}
+	checkInto(dst, a.C, b.C, "MatMulATRangeInto")
+	clear(dst.Data)
+	matmulATRows(dst, a, b, i0, i1, 0, a.C)
+}
+
+// SumRowsRangeInto computes the 1×C column sums of rows [i0, i1) — the bias
+// gradient of one panel — bitwise-identical to SumRowsInto over the panel.
+func SumRowsRangeInto(dst, t *Tensor, i0, i1 int) {
+	checkInto(dst, 1, t.C, "SumRowsRangeInto")
+	clear(dst.Data)
+	for i := i0; i < i1; i++ {
+		row := t.Row(i)
+		for j, v := range row {
+			dst.Data[j] += v
+		}
+	}
+}
+
+// SegSumRowsInto pools each panel's real rows into one row of dst (B×C) —
+// the batched global-add-pool, bitwise-identical to per-graph SumRowsInto.
+func SegSumRowsInto(dst, x *Tensor, l BatchLayout) {
+	checkInto(dst, l.B, x.C, "SegSumRowsInto")
+	checkSeg(x, l, "SegSumRowsInto")
+	clear(dst.Data)
+	for g := 0; g < l.B; g++ {
+		lo := g * l.Stride
+		hi := lo + l.Counts[g]
+		drow := dst.Row(g)
+		for i := lo; i < hi; i++ {
+			row := x.Row(i)
+			for j, v := range row {
+				drow[j] += v
+			}
+		}
+	}
+}
+
+// SegAdjMatMulInto computes dst's panel g = adjs[g]·x_g — the batched GCN
+// aggregation, each graph's c×c normalized adjacency applied to its own
+// panel — and clears pad rows. dst must not alias x.
+func SegAdjMatMulInto(dst *Tensor, adjs []*Tensor, x *Tensor, l BatchLayout) {
+	checkInto(dst, x.R, x.C, "SegAdjMatMulInto")
+	checkSeg(x, l, "SegAdjMatMulInto")
+	n := x.C
+	for g := 0; g < l.B; g++ {
+		c := l.Counts[g]
+		adj := adjs[g]
+		if adj.R != c || adj.C != c {
+			shapePanic("SegAdjMatMul adj %dx%d, panel wants %dx%d", adj.R, adj.C, c, c)
+		}
+		base := g * l.Stride
+		for i := 0; i < c; i++ {
+			crow := dst.Data[(base+i)*n : (base+i+1)*n]
+			clear(crow)
+			matmulRowKernel(crow, adj.Row(i), x.Data, base, n)
+		}
+		clearRows(dst, base+c, base+l.Stride)
+	}
+}
+
+// PanelAdjATInto computes dst's panel g = adjs[g]ᵀ·gt_g — the GCN
+// aggregation backward dX — and clears pad rows. dst must not alias gt.
+func PanelAdjATInto(dst *Tensor, adjs []*Tensor, gt *Tensor, l BatchLayout) {
+	checkInto(dst, gt.R, gt.C, "PanelAdjATInto")
+	checkSeg(gt, l, "PanelAdjATInto")
+	n := gt.C
+	for g := 0; g < l.B; g++ {
+		c := l.Counts[g]
+		adj := adjs[g]
+		base := g * l.Stride
+		clearRows(dst, base, base+l.Stride)
+		atPanelAccum(dst.Data, base, n,
+			func(i int) []float64 { return adj.Row(i) },
+			func(i int) []float64 { return gt.Data[(base+i)*n : (base+i+1)*n] },
+			c, c)
+	}
+}
+
+// atPanelAccum is the panel form of matmulATRows: dst rows base+p (p < np)
+// accumulate Σ_i arow(i)[p] · brow(i) for i < ni, pairing input rows exactly
+// as matmulATRows does — same axpy2/axpy grouping, same ascending-i
+// element-wise add order, same `av != 0` skip — so a panel is bitwise equal
+// to MatMulATInto over the graph's own tensors.
+func atPanelAccum(dd []float64, base, n int, arow, brow func(i int) []float64, ni, np int) {
+	i := 0
+	if simdKernels {
+		for ; i+4 <= ni; i += 4 {
+			matmulATQuadAVX2(dd, base, n,
+				arow(i)[:np], arow(i + 1)[:np], arow(i + 2)[:np], arow(i + 3)[:np],
+				brow(i), brow(i+1), brow(i+2), brow(i+3))
+		}
+		if i+2 <= ni {
+			matmulATPairAVX2(dd, base, n, arow(i)[:np], arow(i + 1)[:np], brow(i), brow(i+1))
+			i += 2
+		}
+		if i < ni {
+			matmulATRowAVX2(dd, base, n, arow(i)[:np], brow(i))
+		}
+		return
+	}
+	for ; i+2 <= ni; i += 2 {
+		a0, a1 := arow(i), arow(i+1)
+		b0, b1 := brow(i), brow(i+1)
+		for p := 0; p < np; p++ {
+			av0, av1 := a0[p], a1[p]
+			o := (base + p) * n
+			if av0 != 0 {
+				if av1 != 0 {
+					axpy2(av0, av1, b0, b1, dd[o:o+n])
+				} else {
+					axpy(av0, b0, dd[o:o+n])
+				}
+			} else if av1 != 0 {
+				axpy(av1, b1, dd[o:o+n])
+			}
+		}
+	}
+	for ; i < ni; i++ {
+		a0, b0 := arow(i), brow(i)
+		for p := 0; p < np; p++ {
+			if av := a0[p]; av != 0 {
+				o := (base + p) * n
+				axpy(av, b0, dd[o:o+n])
+			}
+		}
+	}
+}
+
+// PanelMatMulBTInto computes the score-space product dst_g = a_g·b_gᵀ per
+// panel: a and b are stacked (rows×k) tensors, dst is panel-width
+// (rows×Stride) with row i of panel g holding the c = Counts[g] products
+// against b's panel rows in columns [0, c). Pad columns and pad rows are
+// cleared. dst must not alias a or b.
+func PanelMatMulBTInto(dst, a, b *Tensor, l BatchLayout) {
+	if a.C != b.C {
+		shapePanic("PanelMatMulBT shape mismatch %dx%d · (%dx%d)ᵀ", a.R, a.C, b.R, b.C)
+	}
+	checkInto(dst, a.R, l.Stride, "PanelMatMulBTInto")
+	checkSeg(a, l, "PanelMatMulBTInto")
+	k := a.C
+	s := l.Stride
+	for g := 0; g < l.B; g++ {
+		c := l.Counts[g]
+		base := g * s
+		for i := base; i < base+c; i++ {
+			crow := dst.Data[i*s : (i+1)*s]
+			matmulBTRowKernel(crow, a.Data[i*k:(i+1)*k], b.Data, base, c, k)
+			clear(crow[c:])
+		}
+		clearRows(dst, base+c, base+s)
+	}
+}
+
+// PanelMatMulInto computes dst_g = a_g·b_g per panel, where a is panel-width
+// (each real row uses columns [0, c)) and b is a stacked (rows×k) tensor —
+// the attention·V product and the dQ backward. Pad rows are cleared. dst
+// must not alias a or b.
+func PanelMatMulInto(dst, a, b *Tensor, l BatchLayout) {
+	if a.C != l.Stride {
+		shapePanic("PanelMatMul wants panel-width %d input, got %d", l.Stride, a.C)
+	}
+	checkInto(dst, a.R, b.C, "PanelMatMulInto")
+	checkSeg(b, l, "PanelMatMulInto")
+	k := b.C
+	s := l.Stride
+	for g := 0; g < l.B; g++ {
+		c := l.Counts[g]
+		base := g * s
+		for i := base; i < base+c; i++ {
+			crow := dst.Data[i*k : (i+1)*k]
+			clear(crow)
+			matmulRowKernel(crow, a.Data[i*s:i*s+c], b.Data, base, k)
+		}
+		clearRows(dst, base+c, base+s)
+	}
+}
+
+// PanelMatMulATInto computes dst_g = a_gᵀ·b_g per panel, where a is
+// panel-width and b is stacked (rows×k) — the dK/dV backward of the score
+// products. Pad rows are cleared. dst must not alias a or b.
+func PanelMatMulATInto(dst, a, b *Tensor, l BatchLayout) {
+	if a.C != l.Stride {
+		shapePanic("PanelMatMulAT wants panel-width %d input, got %d", l.Stride, a.C)
+	}
+	checkInto(dst, b.R, b.C, "PanelMatMulATInto")
+	checkSeg(b, l, "PanelMatMulATInto")
+	n := b.C
+	s := l.Stride
+	for g := 0; g < l.B; g++ {
+		c := l.Counts[g]
+		base := g * s
+		clearRows(dst, base, base+s)
+		atPanelAccum(dst.Data, base, n,
+			func(i int) []float64 { return a.Data[(base+i)*s : (base+i)*s+c] },
+			func(i int) []float64 { return b.Data[(base+i)*n : (base+i+1)*n] },
+			c, c)
+	}
+}
+
+// PanelSoftmaxInto computes row-wise softmax over each panel's logical width
+// c with the graph's own additive mask (masks[g] is c×c; −Inf disables, nil
+// masks none), replicating the SoftmaxRowsInto row loop exactly. Pad columns
+// and rows are cleared. dst may alias t (the in-place attention form).
+func PanelSoftmaxInto(dst, t *Tensor, masks []*Tensor, l BatchLayout) {
+	if t.C != l.Stride {
+		shapePanic("PanelSoftmax wants panel-width %d input, got %d", l.Stride, t.C)
+	}
+	checkInto(dst, t.R, t.C, "PanelSoftmaxInto")
+	checkSeg(t, l, "PanelSoftmaxInto")
+	s := l.Stride
+	for g := 0; g < l.B; g++ {
+		c := l.Counts[g]
+		base := g * s
+		var mask *Tensor
+		if masks != nil {
+			mask = masks[g]
+			if mask != nil && (mask.R != c || mask.C != c) {
+				shapePanic("PanelSoftmax mask %dx%d, panel wants %dx%d", mask.R, mask.C, c, c)
+			}
+		}
+		for i := 0; i < c; i++ {
+			row := t.Data[(base+i)*s : (base+i)*s+c]
+			orow := dst.Data[(base+i)*s : (base+i)*s+c]
+			softmaxRow(orow, row, mask, i)
+			clear(dst.Data[(base+i)*s+c : (base+i+1)*s])
+		}
+		clearRows(dst, base+c, base+s)
+	}
+}
+
+// softmaxRow is one row of SoftmaxRowsInto, shared between the full-tensor
+// and panel kernels so both produce bitwise-identical rows. mask may be nil;
+// mi indexes the mask row.
+func softmaxRow(orow, row []float64, mask *Tensor, mi int) {
+	// The max pass vectorizes bitwise-safely: the running max under strict >
+	// is order-independent in value, NaN candidates never win under either
+	// order, and the one ambiguity — a row whose max appears as both −0 and
+	// +0 — is erased by the exp pass (v∓0 differs only at v=±0, and
+	// exp(±0) is exactly 1 either way). The exp-and-sum pass stays scalar:
+	// its sequential sum order is pinned.
+	var maxv float64
+	switch {
+	case simdKernels && mask != nil:
+		maxv = softmaxFwdAVX2(orow, row, mask.Row(mi))
+	case simdKernels:
+		maxv = softmaxFwdNMAVX2(orow, row)
+	case mask != nil:
+		maxv = math.Inf(-1)
+		mrow := mask.Row(mi)
+		for j, v := range row {
+			v += mrow[j]
+			orow[j] = v
+			if v > maxv {
+				maxv = v
+			}
+		}
+	default:
+		maxv = math.Inf(-1)
+		for j, v := range row {
+			orow[j] = v
+			if v > maxv {
+				maxv = v
+			}
+		}
+	}
+	if math.IsInf(maxv, -1) {
+		clear(orow)
+		return
+	}
+	sum := 0.0
+	for j, v := range orow {
+		e := math.Exp(v - maxv)
+		orow[j] = e
+		sum += e
+	}
+	inv := 1 / sum
+	if simdKernels {
+		scaleIntoAVX2(orow, orow, inv)
+		return
+	}
+	for j := range orow {
+		orow[j] *= inv
+	}
+}
+
+// PanelAddOuterInto computes panel g's logits dst[i][j] = a[i] + b[base+j]
+// for j < c from stacked column vectors a, b (rows×1) — the batched GAT
+// attention-logit outer sum. Pad columns and rows are cleared. dst must not
+// alias a or b.
+func PanelAddOuterInto(dst, a, b *Tensor, l BatchLayout) {
+	if a.C != 1 || b.C != 1 {
+		shapePanic("PanelAddOuter wants column vectors, got %dx%d and %dx%d", a.R, a.C, b.R, b.C)
+	}
+	checkInto(dst, a.R, l.Stride, "PanelAddOuterInto")
+	checkSeg(a, l, "PanelAddOuterInto")
+	s := l.Stride
+	for g := 0; g < l.B; g++ {
+		c := l.Counts[g]
+		base := g * s
+		for i := base; i < base+c; i++ {
+			av := a.Data[i]
+			row := dst.Data[i*s : (i+1)*s]
+			for j := 0; j < c; j++ {
+				row[j] = av + b.Data[base+j]
+			}
+			clear(row[c:])
+		}
+		clearRows(dst, base+c, base+s)
+	}
+}
+
+// PanelSumColsInto computes dst[i] = Σ_{j<c} t[i][j] over each panel's
+// logical width — the da backward of PanelAddOuter — clearing pad rows.
+func PanelSumColsInto(dst, t *Tensor, l BatchLayout) {
+	if t.C != l.Stride {
+		shapePanic("PanelSumCols wants panel-width %d input, got %d", l.Stride, t.C)
+	}
+	checkInto(dst, t.R, 1, "PanelSumColsInto")
+	checkSeg(t, l, "PanelSumColsInto")
+	s := l.Stride
+	for g := 0; g < l.B; g++ {
+		c := l.Counts[g]
+		base := g * s
+		for i := base; i < base+c; i++ {
+			sum := 0.0
+			for _, v := range t.Data[i*s : i*s+c] {
+				sum += v
+			}
+			dst.Data[i] = sum
+		}
+		clear(dst.Data[base+c : base+s])
+	}
+}
+
+// PanelColSumsInto computes dst[base+j] = Σ_i t_g[i][j] per panel — the db
+// backward of PanelAddOuter, accumulating in the same ascending-i order as
+// SumRowsInto followed by the transpose — clearing pad rows.
+func PanelColSumsInto(dst, t *Tensor, l BatchLayout) {
+	if t.C != l.Stride {
+		shapePanic("PanelColSums wants panel-width %d input, got %d", l.Stride, t.C)
+	}
+	checkInto(dst, t.R, 1, "PanelColSumsInto")
+	checkSeg(t, l, "PanelColSumsInto")
+	s := l.Stride
+	for g := 0; g < l.B; g++ {
+		c := l.Counts[g]
+		base := g * s
+		clear(dst.Data[base : base+s])
+		for i := base; i < base+c; i++ {
+			row := t.Data[i*s : i*s+c]
+			for j, v := range row {
+				dst.Data[base+j] += v
+			}
+		}
+	}
+}

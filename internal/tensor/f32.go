@@ -1,0 +1,209 @@
+package tensor
+
+import "math"
+
+// Tensor32 is a row-major float32 matrix for the opt-in reduced-precision
+// inference path. It deliberately has no autodiff or SIMD surface: float32
+// halves memory traffic and lets the compiler vectorize twice as many lanes,
+// and inference is the only place the looser precision is acceptable. The
+// float64 path remains the bitwise-pinned reference; Tensor32 results are
+// compared against it under an explicit tolerance (see the graphnn float32
+// tolerance table), never bit for bit.
+type Tensor32 struct {
+	R, C int
+	Data []float32
+}
+
+// New32 returns a zero r×c float32 tensor.
+func New32(r, c int) *Tensor32 {
+	return &Tensor32{R: r, C: c, Data: make([]float32, r*c)}
+}
+
+// ToFloat32 converts t by rounding every element to float32.
+func (t *Tensor) ToFloat32() *Tensor32 {
+	o := &Tensor32{R: t.R, C: t.C, Data: make([]float32, len(t.Data))}
+	for i, v := range t.Data {
+		o.Data[i] = float32(v)
+	}
+	return o
+}
+
+// At returns the element at row i, column j.
+func (t *Tensor32) At(i, j int) float32 { return t.Data[i*t.C+j] }
+
+// Row returns row i as a slice view.
+func (t *Tensor32) Row(i int) []float32 { return t.Data[i*t.C : (i+1)*t.C] }
+
+// MatMulInto32 computes dst = a·b. dst must not alias a or b.
+func MatMulInto32(dst, a, b *Tensor32) {
+	n := b.C
+	for i := 0; i < a.R; i++ {
+		crow := dst.Data[i*n : (i+1)*n]
+		clear(crow)
+		arow := a.Data[i*a.C : (i+1)*a.C]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulBTInto32 computes dst = a·bᵀ.
+func MatMulBTInto32(dst, a, b *Tensor32) {
+	k := a.C
+	for i := 0; i < a.R; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*b.R : (i+1)*b.R]
+		for j := 0; j < b.R; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// LinearInto32 computes dst = x·w + b with the 1×out bias broadcast per row.
+func LinearInto32(dst, x, w, b *Tensor32) {
+	MatMulInto32(dst, x, w)
+	n := w.C
+	for i := 0; i < dst.R; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j, bv := range b.Data {
+			drow[j] += bv
+		}
+	}
+}
+
+// AddInPlace32 adds b into a elementwise.
+func AddInPlace32(a, b *Tensor32) {
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// Scale32 multiplies t by s in place.
+func Scale32(t *Tensor32, s float32) {
+	for i := range t.Data {
+		t.Data[i] *= s
+	}
+}
+
+// ReLU32 applies max(x, 0) in place.
+func ReLU32(t *Tensor32) {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = 0
+		}
+	}
+}
+
+// LeakyReLU32 applies x>0 ? x : alpha·x in place.
+func LeakyReLU32(t *Tensor32, alpha float32) {
+	for i, v := range t.Data {
+		if v < 0 {
+			t.Data[i] = alpha * v
+		}
+	}
+}
+
+// SoftmaxRows32 applies a row-wise masked softmax in place: mask (same shape,
+// may be nil) is added to the logits; −Inf disables a position. A row that is
+// entirely masked becomes all zeros, matching the float64 softmaxRow.
+func SoftmaxRows32(t, mask *Tensor32) {
+	for i := 0; i < t.R; i++ {
+		row := t.Row(i)
+		if mask != nil {
+			for j, mv := range mask.Row(i) {
+				row[j] += mv
+			}
+		}
+		max := float32(math.Inf(-1))
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		if max == float32(math.Inf(-1)) {
+			clear(row)
+			continue
+		}
+		var sum float32
+		for j, v := range row {
+			e := float32(math.Exp(float64(v - max)))
+			row[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range row {
+			row[j] *= inv
+		}
+	}
+}
+
+// LayerNormRows32 normalizes each row to zero mean and unit variance, then
+// applies the 1×dim affine gamma/beta.
+func LayerNormRows32(t, gamma, beta *Tensor32, eps float32) {
+	n := t.C
+	for i := 0; i < t.R; i++ {
+		row := t.Row(i)
+		var mean float32
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float32(n)
+		var vr float32
+		for _, v := range row {
+			d := v - mean
+			vr += d * d
+		}
+		vr /= float32(n)
+		inv := 1 / float32(math.Sqrt(float64(vr+eps)))
+		for j, v := range row {
+			row[j] = (v-mean)*inv*gamma.Data[j] + beta.Data[j]
+		}
+	}
+}
+
+// SumRowsInto32 computes the 1×C column sums of t into dst.
+func SumRowsInto32(dst, t *Tensor32) {
+	clear(dst.Data)
+	for i := 0; i < t.R; i++ {
+		for j, v := range t.Row(i) {
+			dst.Data[j] += v
+		}
+	}
+}
+
+// AddOuterInto32 computes dst[i][j] = a[i] + b[j] for column vectors a (N×1)
+// and b (M×1).
+func AddOuterInto32(dst, a, b *Tensor32) {
+	for i := 0; i < a.R; i++ {
+		av := a.Data[i]
+		drow := dst.Data[i*b.R : (i+1)*b.R]
+		for j := 0; j < b.R; j++ {
+			drow[j] = av + b.Data[j]
+		}
+	}
+}
+
+// CopyCols32 copies src into dst columns [lo, lo+src.C).
+func CopyCols32(dst, src *Tensor32, lo int) {
+	for i := 0; i < src.R; i++ {
+		copy(dst.Data[i*dst.C+lo:i*dst.C+lo+src.C], src.Row(i))
+	}
+}
+
+// SliceColsInto32 copies src columns [lo, hi) into dst.
+func SliceColsInto32(dst, src *Tensor32, lo, hi int) {
+	for i := 0; i < src.R; i++ {
+		copy(dst.Row(i), src.Data[i*src.C+lo:i*src.C+hi])
+	}
+}

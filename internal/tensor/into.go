@@ -40,11 +40,11 @@ func MatMulInto(dst, a, b *Tensor) {
 	// The serial path calls the row worker directly: a closure shared with
 	// the parallel branch would escape to the heap on every call, costing
 	// one allocation per matmul even for tiny kernels.
-	if m*k*n < matmulParallelMinFlops {
+	if m*k*n < parallelMinFlops() {
 		matmulRowRange(dst, a, b, 0, m)
 		return
 	}
-	parallel.ForBlocked(m, matmulRowBlock, func(lo, hi int) {
+	parallel.ForBlocked(m, parallelRowBlock(), func(lo, hi int) {
 		matmulRowRange(dst, a, b, lo, hi)
 	})
 }
@@ -55,9 +55,44 @@ func matmulRowRange(dst, a, b *Tensor, lo, hi int) {
 		arow := a.Data[i*k : (i+1)*k]
 		crow := dst.Data[i*n : (i+1)*n]
 		clear(crow)
-		for p := 0; p < k; p++ {
-			axpy(arow[p], b.Data[p*n:(p+1)*n], crow)
+		matmulRowKernel(crow, arow, b.Data, 0, n)
+	}
+}
+
+// matmulRowKernel accumulates one output row: crow += Σ_p arow[p] · brow_p,
+// where brow_p is bd[(b0+p)*n : (b0+p+1)*n]. Operands are grouped four at a
+// time through axpy4, which adds the four products per element in ascending
+// p order — the same element-wise addition order as sequential axpy calls —
+// so the fusion is bitwise-invisible. Shared by the plain matmul, the fused
+// linear layer, and the batched panel kernels, which therefore agree
+// bit-for-bit with the serial per-graph path.
+func matmulRowKernel(crow, arow []float64, bd []float64, b0, n int) {
+	if simdKernels {
+		matmulRowKernelAVX2(crow, arow, bd, b0, n)
+		return
+	}
+	k := len(arow)
+	p := 0
+	for ; p+4 <= k; p += 4 {
+		// Skip quads whose four coefficients are all (±)0: every product is
+		// a signed zero and c += ±0 leaves c bitwise unchanged for any c
+		// (+0 + −0 is +0, −0 + −0 is −0 — the accumulator keeps its own
+		// sign either way), so with finite operands the skip is invisible.
+		// One-hot-heavy embedding features make this the common case. The
+		// AVX2 kernel applies the identical test.
+		if arow[p] == 0 && arow[p+1] == 0 && arow[p+2] == 0 && arow[p+3] == 0 {
+			continue
 		}
+		o := (b0 + p) * n
+		axpy4(arow[p], arow[p+1], arow[p+2], arow[p+3],
+			bd[o:o+n], bd[o+n:o+2*n], bd[o+2*n:o+3*n], bd[o+3*n:o+4*n], crow)
+	}
+	for ; p < k; p++ {
+		if arow[p] == 0 {
+			continue
+		}
+		o := (b0 + p) * n
+		axpy(arow[p], bd[o:o+n], crow)
 	}
 }
 
@@ -68,11 +103,11 @@ func MatMulBTInto(dst, a, b *Tensor) {
 		shapePanic("MatMulBT shape mismatch %dx%d · (%dx%d)ᵀ", a.R, a.C, b.R, b.C)
 	}
 	checkInto(dst, a.R, b.R, "MatMulBTInto")
-	if a.R*a.C*b.R < matmulParallelMinFlops {
+	if a.R*a.C*b.R < parallelMinFlops() {
 		matmulBTRowRange(dst, a, b, 0, a.R)
 		return
 	}
-	parallel.ForBlocked(a.R, matmulRowBlock, func(lo, hi int) {
+	parallel.ForBlocked(a.R, parallelRowBlock(), func(lo, hi int) {
 		matmulBTRowRange(dst, a, b, lo, hi)
 	})
 }
@@ -82,9 +117,28 @@ func matmulBTRowRange(dst, a, b *Tensor, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.Data[i*k : (i+1)*k]
 		crow := dst.Data[i*b.R : (i+1)*b.R]
-		for j := 0; j < b.R; j++ {
-			crow[j] = dot(arow, b.Data[j*k:(j+1)*k])
-		}
+		matmulBTRowKernel(crow, arow, b.Data, 0, b.R, k)
+	}
+}
+
+// matmulBTRowKernel fills one output row of a·bᵀ: crow[j] = arow · brow_j
+// for j in [0, m), where brow_j = bd[(b0+j)*k : (b0+j+1)*k]. Output columns
+// are paired through dot2 so arow is streamed once per two products; each
+// dot keeps dot's exact accumulator pattern, so results are bitwise equal to
+// per-column dot calls. Shared with the batched score-panel kernels.
+func matmulBTRowKernel(crow, arow []float64, bd []float64, b0, m, k int) {
+	if simdKernels {
+		matmulBTRowKernelAVX2(crow, arow, bd, b0, m, k)
+		return
+	}
+	j := 0
+	for ; j+2 <= m; j += 2 {
+		o := (b0 + j) * k
+		crow[j], crow[j+1] = dot2(arow, bd[o:o+k], bd[o+k:o+2*k])
+	}
+	if j < m {
+		o := (b0 + j) * k
+		crow[j] = dot(arow, bd[o:o+k])
 	}
 }
 
@@ -99,18 +153,70 @@ func MatMulATInto(dst, a, b *Tensor) {
 	// dst[p][j] = sum_i a[i][p] * b[i][j]; accumulate row blocks serially to
 	// keep writes race-free, parallelizing over output rows.
 	clear(dst.Data)
-	if a.R*m*n < matmulParallelMinFlops {
+	if a.R*m*n < parallelMinFlops() {
 		matmulATRowRange(dst, a, b, 0, m)
 		return
 	}
-	parallel.ForBlocked(m, matmulRowBlock, func(lo, hi int) {
+	parallel.ForBlocked(m, parallelRowBlock(), func(lo, hi int) {
 		matmulATRowRange(dst, a, b, lo, hi)
 	})
 }
 
 func matmulATRowRange(dst, a, b *Tensor, lo, hi int) {
+	matmulATRows(dst, a, b, 0, a.R, lo, hi)
+}
+
+// matmulATRows accumulates dst[p] += Σ_i a[i][p] · b[i] over input rows
+// [i0, i1) for output rows p in [lo, hi). Input rows are paired: two rows'
+// contributions to each dst element are added in ascending i order via
+// axpy2, which is the exact element-wise order of the one-row-at-a-time
+// loop, so the pairing is bitwise-invisible. The `av != 0` skip is preserved
+// per row (adding 0·b would be a near-no-op but costs the full row pass; a
+// one-hot heavy feature matrix makes the skip the common case). Shared by
+// the per-panel weight-gradient kernels of the batched backward, which pass
+// an explicit [i0, i1) panel row range.
+func matmulATRows(dst, a, b *Tensor, i0, i1, lo, hi int) {
 	m, n := a.C, b.C
-	for i := 0; i < a.R; i++ {
+	i := i0
+	if simdKernels {
+		for ; i+4 <= i1; i += 4 {
+			matmulATQuadAVX2(dst.Data, lo, n,
+				a.Data[i*m+lo:i*m+hi], a.Data[(i+1)*m+lo:(i+1)*m+hi],
+				a.Data[(i+2)*m+lo:(i+2)*m+hi], a.Data[(i+3)*m+lo:(i+3)*m+hi],
+				b.Data[i*n:(i+1)*n], b.Data[(i+1)*n:(i+2)*n],
+				b.Data[(i+2)*n:(i+3)*n], b.Data[(i+3)*n:(i+4)*n])
+		}
+		if i+2 <= i1 {
+			matmulATPairAVX2(dst.Data, lo, n,
+				a.Data[i*m+lo:i*m+hi], a.Data[(i+1)*m+lo:(i+1)*m+hi],
+				b.Data[i*n:(i+1)*n], b.Data[(i+1)*n:(i+2)*n])
+			i += 2
+		}
+		if i < i1 {
+			matmulATRowAVX2(dst.Data, lo, n,
+				a.Data[i*m+lo:i*m+hi], b.Data[i*n:(i+1)*n])
+		}
+		return
+	}
+	for ; i+2 <= i1; i += 2 {
+		arow0 := a.Data[i*m : (i+1)*m]
+		arow1 := a.Data[(i+1)*m : (i+2)*m]
+		brow0 := b.Data[i*n : (i+1)*n]
+		brow1 := b.Data[(i+1)*n : (i+2)*n]
+		for p := lo; p < hi; p++ {
+			av0, av1 := arow0[p], arow1[p]
+			if av0 != 0 {
+				if av1 != 0 {
+					axpy2(av0, av1, brow0, brow1, dst.Data[p*n:(p+1)*n])
+				} else {
+					axpy(av0, brow0, dst.Data[p*n:(p+1)*n])
+				}
+			} else if av1 != 0 {
+				axpy(av1, brow1, dst.Data[p*n:(p+1)*n])
+			}
+		}
+	}
+	for ; i < i1; i++ {
 		arow := a.Data[i*m : (i+1)*m]
 		brow := b.Data[i*n : (i+1)*n]
 		for p := lo; p < hi; p++ {
@@ -134,25 +240,24 @@ func LinearInto(dst, x, w, bias *Tensor) {
 	}
 	checkInto(dst, x.R, w.C, "LinearInto")
 	m, k, n := x.R, x.C, w.C
-	if m*k*n < matmulParallelMinFlops {
+	if m*k*n < parallelMinFlops() {
 		linearRowRange(dst, x, w, bias, 0, m)
 		return
 	}
-	parallel.ForBlocked(m, matmulRowBlock, func(lo, hi int) {
+	parallel.ForBlocked(m, parallelRowBlock(), func(lo, hi int) {
 		linearRowRange(dst, x, w, bias, lo, hi)
 	})
 }
 
 func linearRowRange(dst, x, w, bias *Tensor, lo, hi int) {
-	k, n := x.C, w.C
+	n := w.C
+	k := x.C
 	brow := bias.Data
 	for i := lo; i < hi; i++ {
 		arow := x.Data[i*k : (i+1)*k]
 		crow := dst.Data[i*n : (i+1)*n]
 		clear(crow)
-		for p := 0; p < k; p++ {
-			axpy(arow[p], w.Data[p*n:(p+1)*n], crow)
-		}
+		matmulRowKernel(crow, arow, w.Data, 0, n)
 		for j := range crow {
 			crow[j] += brow[j]
 		}
@@ -195,6 +300,10 @@ func AddInto(dst, a, b *Tensor) {
 		shapePanic("elementwise shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
 	}
 	checkInto(dst, a.R, a.C, "AddInto")
+	if simdKernels {
+		addIntoAVX2(dst.Data, a.Data, b.Data)
+		return
+	}
 	bd := b.Data
 	for i, v := range a.Data {
 		dst.Data[i] = v + bd[i]
@@ -240,8 +349,90 @@ func DivInto(dst, a, b *Tensor) {
 // ScaleInto computes dst = s·t. dst may alias t.
 func ScaleInto(dst, t *Tensor, s float64) {
 	checkInto(dst, t.R, t.C, "ScaleInto")
+	if simdKernels {
+		scaleIntoAVX2(dst.Data, t.Data, s)
+		return
+	}
 	for i, v := range t.Data {
 		dst.Data[i] = s * v
+	}
+}
+
+// ReLUInto computes dst = max(t, 0) elementwise with math.Max semantics:
+// −0 maps to +0 and NaN stays NaN (canonicalized, as math.Max does). dst may
+// alias t.
+func ReLUInto(dst, t *Tensor) {
+	checkInto(dst, t.R, t.C, "ReLUInto")
+	if simdKernels {
+		reluFwdAVX2(dst.Data, t.Data)
+		return
+	}
+	for i, a := range t.Data {
+		dst.Data[i] = math.Max(a, 0)
+	}
+}
+
+// ReLUBackInto computes d[i] = g[i] where x[i] > 0 and 0 elsewhere — the
+// ReLU gradient gate. d must not alias g or x.
+func ReLUBackInto(d, g, x *Tensor) {
+	checkInto(d, g.R, g.C, "ReLUBackInto")
+	if simdKernels {
+		reluBackAVX2(d.Data, g.Data, x.Data)
+		return
+	}
+	for i, gv := range g.Data {
+		if x.Data[i] > 0 {
+			d.Data[i] = gv
+		} else {
+			d.Data[i] = 0
+		}
+	}
+}
+
+// LeakyReLUInto computes dst[i] = t[i] for t[i] > 0 and α·t[i] otherwise.
+// dst may alias t.
+func LeakyReLUInto(dst, t *Tensor, alpha float64) {
+	checkInto(dst, t.R, t.C, "LeakyReLUInto")
+	if simdKernels {
+		leakyFwdAVX2(dst.Data, t.Data, alpha)
+		return
+	}
+	for i, a := range t.Data {
+		if a > 0 {
+			dst.Data[i] = a
+		} else {
+			dst.Data[i] = alpha * a
+		}
+	}
+}
+
+// LeakyReLUBackInto computes d[i] = g[i] where x[i] > 0 and α·g[i]
+// elsewhere. d must not alias g or x.
+func LeakyReLUBackInto(d, g, x *Tensor, alpha float64) {
+	checkInto(d, g.R, g.C, "LeakyReLUBackInto")
+	if simdKernels {
+		leakyBackAVX2(d.Data, g.Data, x.Data, alpha)
+		return
+	}
+	for i, gv := range g.Data {
+		if x.Data[i] > 0 {
+			d.Data[i] = gv
+		} else {
+			d.Data[i] = alpha * gv
+		}
+	}
+}
+
+// SoftmaxBackRow computes drow[j] = yrow[j] · (grow[j] − dotgy), the
+// elementwise half of the softmax VJP; the caller computes dotgy with the
+// pinned sequential sum.
+func SoftmaxBackRow(drow, grow, yrow []float64, dotgy float64) {
+	if simdKernels {
+		softmaxBackRowAVX2(drow, grow, yrow, dotgy)
+		return
+	}
+	for j := range grow {
+		drow[j] = yrow[j] * (grow[j] - dotgy)
 	}
 }
 
@@ -320,41 +511,10 @@ func SoftmaxRowsInto(dst, t, mask *Tensor) {
 		}
 	}
 	checkInto(dst, t.R, t.C, "SoftmaxRowsInto")
+	// The row body lives in softmaxRow (batch.go), shared with the batched
+	// panel kernel so both paths produce bitwise-identical rows.
 	for i := 0; i < t.R; i++ {
-		row := t.Row(i)
-		orow := dst.Row(i)
-		maxv := math.Inf(-1)
-		if mask != nil {
-			mrow := mask.Row(i)
-			for j, v := range row {
-				v += mrow[j]
-				orow[j] = v
-				if v > maxv {
-					maxv = v
-				}
-			}
-		} else {
-			for j, v := range row {
-				orow[j] = v
-				if v > maxv {
-					maxv = v
-				}
-			}
-		}
-		if math.IsInf(maxv, -1) {
-			clear(orow)
-			continue
-		}
-		sum := 0.0
-		for j, v := range orow {
-			e := math.Exp(v - maxv)
-			orow[j] = e
-			sum += e
-		}
-		inv := 1 / sum
-		for j := range orow {
-			orow[j] *= inv
-		}
+		softmaxRow(dst.Row(i), t.Row(i), mask, i)
 	}
 }
 

@@ -149,16 +149,6 @@ func assertShape(cond bool, format string, args ...any) {
 	}
 }
 
-// matmulRowBlock is the number of output rows handled per parallel task.
-const matmulRowBlock = 16
-
-// matmulParallelMinFlops gates the goroutine fan-out of the matmul kernels:
-// below this many multiply-adds the fork/join overhead dominates the work,
-// so the loop runs serially on the calling goroutine. The cutover never
-// changes results — every output row is computed independently with the
-// same per-row operation order either way.
-const matmulParallelMinFlops = 1 << 17
-
 // MatMul returns a·b for a (m×k) and b (k×n).
 func MatMul(a, b *Tensor) *Tensor {
 	out := New(a.R, b.C)
@@ -168,6 +158,10 @@ func MatMul(a, b *Tensor) *Tensor {
 
 // axpy computes y += a*x over equal-length slices, unrolled by eight.
 func axpy(a float64, x, y []float64) {
+	if simdKernels {
+		axpyAVX2(a, x, y[:len(x)])
+		return
+	}
 	n := len(x)
 	y = y[:n]
 	i := 0
@@ -185,6 +179,61 @@ func axpy(a float64, x, y []float64) {
 	}
 	for ; i < n; i++ {
 		y[i] += a * x[i]
+	}
+}
+
+// axpy2 computes y += a0*x0 + a1*x1 in one pass over y. For every element the
+// two contributions are added in the same order as two sequential axpy calls
+// (a0's product first), so the result is bitwise identical to
+// axpy(a0, x0, y); axpy(a1, x1, y) while touching y half as often.
+func axpy2(a0, a1 float64, x0, x1, y []float64) {
+	if simdKernels {
+		axpy2AVX2(a0, a1, x0[:len(y)], x1[:len(y)], y)
+		return
+	}
+	n := len(y)
+	x0 = x0[:n]
+	x1 = x1[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		p0 := x0[i : i+4 : i+4]
+		p1 := x1[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		y4[0] = y4[0] + a0*p0[0] + a1*p1[0]
+		y4[1] = y4[1] + a0*p0[1] + a1*p1[1]
+		y4[2] = y4[2] + a0*p0[2] + a1*p1[2]
+		y4[3] = y4[3] + a0*p0[3] + a1*p1[3]
+	}
+	for ; i < n; i++ {
+		y[i] = y[i] + a0*x0[i] + a1*x1[i]
+	}
+}
+
+// axpy4 computes y += a0*x0 + a1*x1 + a2*x2 + a3*x3 in one pass over y.
+// Per element the four products are added in ascending operand order —
+// exactly the order four sequential axpy calls would use — so results are
+// bitwise identical while y is loaded and stored once per four updates
+// instead of four times.
+func axpy4(a0, a1, a2, a3 float64, x0, x1, x2, x3, y []float64) {
+	n := len(y)
+	x0 = x0[:n]
+	x1 = x1[:n]
+	x2 = x2[:n]
+	x3 = x3[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		p0 := x0[i : i+4 : i+4]
+		p1 := x1[i : i+4 : i+4]
+		p2 := x2[i : i+4 : i+4]
+		p3 := x3[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		y4[0] = y4[0] + a0*p0[0] + a1*p1[0] + a2*p2[0] + a3*p3[0]
+		y4[1] = y4[1] + a0*p0[1] + a1*p1[1] + a2*p2[1] + a3*p3[1]
+		y4[2] = y4[2] + a0*p0[2] + a1*p1[2] + a2*p2[2] + a3*p3[2]
+		y4[3] = y4[3] + a0*p0[3] + a1*p1[3] + a2*p2[3] + a3*p3[3]
+	}
+	for ; i < n; i++ {
+		y[i] = y[i] + a0*x0[i] + a1*x1[i] + a2*x2[i] + a3*x3[i]
 	}
 }
 
@@ -210,6 +259,40 @@ func dot(x, y []float64) float64 {
 		s += x[i] * y[i]
 	}
 	return s
+}
+
+// dot2 computes dot(x, y0) and dot(x, y1) in one pass, loading x once for
+// both products. Each output keeps dot's exact four-accumulator pattern, so
+// both results are bitwise identical to separate dot calls.
+func dot2(x, y0, y1 []float64) (float64, float64) {
+	n := len(x)
+	if n == 0 {
+		return 0, 0
+	}
+	y0 = y0[:n]
+	y1 = y1[:n]
+	var a0, a1, a2, a3 float64
+	var b0, b1, b2, b3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x4 := x[i : i+4 : i+4]
+		p4 := y0[i : i+4 : i+4]
+		q4 := y1[i : i+4 : i+4]
+		a0 += x4[0] * p4[0]
+		b0 += x4[0] * q4[0]
+		a1 += x4[1] * p4[1]
+		b1 += x4[1] * q4[1]
+		a2 += x4[2] * p4[2]
+		b2 += x4[2] * q4[2]
+		a3 += x4[3] * p4[3]
+		b3 += x4[3] * q4[3]
+	}
+	s, t := a0+a1+a2+a3, b0+b1+b2+b3
+	for ; i < n; i++ {
+		s += x[i] * y0[i]
+		t += x[i] * y1[i]
+	}
+	return s, t
 }
 
 // MatMulBT returns a·bᵀ for a (m×k) and b (n×k). This is the layout used by
@@ -284,6 +367,10 @@ func zipWith(a, b *Tensor, f func(x, y float64) float64) *Tensor {
 func AddInPlace(a, b *Tensor) {
 	if !a.SameShape(b) {
 		shapePanic("AddInPlace shape mismatch %dx%d vs %dx%d", a.R, a.C, b.R, b.C)
+	}
+	if simdKernels {
+		addInPlaceAVX2(a.Data, b.Data)
+		return
 	}
 	for i := range a.Data {
 		a.Data[i] += b.Data[i]

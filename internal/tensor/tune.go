@@ -1,0 +1,187 @@
+// Kernel autotuning: the serial/parallel matmul crossover and the parallel
+// row-block size used to be hardcoded constants picked on one machine. They
+// are now package state with a measured "auto" mode, so the split adapts to
+// the host (a single-core box never pays goroutine fan-out; a 32-core box
+// cuts over earlier) while results stay bitwise identical at every setting —
+// every output row is computed independently with the same per-row operation
+// order whether it runs serially or inside a parallel block.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"predtop/internal/parallel"
+)
+
+// Defaults: the values the former constants pinned. They remain the
+// behavior of every process that never calls ApplyKernelTune.
+const (
+	defaultRowBlock = 16
+	defaultMinFlops = 1 << 17
+)
+
+// kernelMinFlops gates the goroutine fan-out of the matmul kernels: below
+// this many multiply-adds the fork/join overhead dominates the work, so the
+// loop runs serially on the calling goroutine. kernelRowBlock is the number
+// of output rows handled per parallel task. Both are atomics so a startup
+// tune can adjust them while tests or servers are already running kernels;
+// a plain load on the hot path costs one MOV on amd64.
+var (
+	kernelMinFlops atomic.Int64
+	kernelRowBlock atomic.Int64
+	kernelTuneMode atomic.Pointer[string]
+)
+
+func init() {
+	kernelMinFlops.Store(defaultMinFlops)
+	kernelRowBlock.Store(defaultRowBlock)
+	off := "off"
+	kernelTuneMode.Store(&off)
+}
+
+// parallelMinFlops returns the current serial/parallel crossover in
+// multiply-adds.
+func parallelMinFlops() int { return int(kernelMinFlops.Load()) }
+
+// parallelRowBlock returns the current parallel row-block size.
+func parallelRowBlock() int { return int(kernelRowBlock.Load()) }
+
+// KernelTuneResult reports the kernel split parameters in effect and how
+// they were chosen, for logging and the predtop_kernel_* gauges.
+type KernelTuneResult struct {
+	// Mode is "off" (defaults), "auto" (measured), or "fixed" (explicit
+	// crossover from a flag).
+	Mode string
+	// MinFlops is the serial/parallel crossover in multiply-adds;
+	// math.MaxInt64 means the parallel path is never taken.
+	MinFlops int64
+	// RowBlock is the parallel row-block size.
+	RowBlock int
+	// Procs is the GOMAXPROCS the tune ran under (0 when Mode is not auto).
+	Procs int
+	// TuneSeconds is the wall time the measurement took (0 unless auto).
+	TuneSeconds float64
+}
+
+// KernelTune returns the parameters currently in effect.
+func KernelTune() KernelTuneResult {
+	return KernelTuneResult{
+		Mode:     *kernelTuneMode.Load(),
+		MinFlops: kernelMinFlops.Load(),
+		RowBlock: int(kernelRowBlock.Load()),
+	}
+}
+
+// ApplyKernelTune configures the kernel split from a -kernel-tune flag or
+// the PREDTOP_KERNEL_TUNE environment value:
+//
+//	"off" (or "")  – restore the built-in defaults
+//	"auto"         – measure the serial/parallel crossover and row block on
+//	                 this host and install them
+//	"<n>"          – pin the crossover to n multiply-adds (row block stays
+//	                 at its default); n <= 0 disables the parallel path
+//
+// Tuning only moves the work split; it never changes numerical results, so
+// it is safe to apply under any determinism requirement.
+func ApplyKernelTune(mode string) (KernelTuneResult, error) {
+	switch mode {
+	case "", "off":
+		kernelMinFlops.Store(defaultMinFlops)
+		kernelRowBlock.Store(defaultRowBlock)
+		m := "off"
+		kernelTuneMode.Store(&m)
+		return KernelTune(), nil
+	case "auto":
+		res := autotuneKernels()
+		kernelMinFlops.Store(res.MinFlops)
+		kernelRowBlock.Store(int64(res.RowBlock))
+		m := "auto"
+		kernelTuneMode.Store(&m)
+		res.Mode = m
+		return res, nil
+	default:
+		n, err := strconv.ParseInt(mode, 10, 64)
+		if err != nil {
+			return KernelTuneResult{}, fmt.Errorf("tensor: bad kernel-tune value %q (want off, auto, or an integer)", mode)
+		}
+		if n <= 0 {
+			n = math.MaxInt64
+		}
+		kernelMinFlops.Store(n)
+		kernelRowBlock.Store(defaultRowBlock)
+		m := "fixed"
+		kernelTuneMode.Store(&m)
+		return KernelTune(), nil
+	}
+}
+
+// tuneReps bounds the repetitions per measured shape; the probe sizes are
+// small enough that the whole auto tune stays well under 100 ms.
+const tuneReps = 6
+
+// autotuneKernels measures the serial/parallel crossover per shape class
+// (square m=k=n probes) and the best row block at the crossover size. On a
+// single-proc host the parallel path can never win, so the crossover is
+// pinned to "never" without measuring.
+func autotuneKernels() KernelTuneResult {
+	start := time.Now()
+	procs := runtime.GOMAXPROCS(0)
+	res := KernelTuneResult{
+		Mode:     "auto",
+		MinFlops: math.MaxInt64,
+		RowBlock: defaultRowBlock,
+		Procs:    procs,
+	}
+	if procs <= 1 {
+		res.TuneSeconds = time.Since(start).Seconds()
+		return res
+	}
+	sizes := []int{32, 48, 64, 96, 128, 192, 256}
+	for _, n := range sizes {
+		a, b, dst := Full(n, n, 1.25), Full(n, n, 0.75), New(n, n)
+		serial := timeMatMul(dst, a, b, false, defaultRowBlock)
+		par := timeMatMul(dst, a, b, true, defaultRowBlock)
+		if par < serial {
+			res.MinFlops = int64(n) * int64(n) * int64(n)
+			// Row block: probe a few splits at the first winning size.
+			best := par
+			for _, rb := range []int{8, 16, 32, 64} {
+				if rb == defaultRowBlock {
+					continue
+				}
+				if d := timeMatMul(dst, a, b, true, rb); d < best {
+					best = d
+					res.RowBlock = rb
+				}
+			}
+			break
+		}
+	}
+	res.TuneSeconds = time.Since(start).Seconds()
+	return res
+}
+
+// timeMatMul measures the best-of-reps wall time of one m×k×n matmul on the
+// forced serial or parallel path.
+func timeMatMul(dst, a, b *Tensor, par bool, rowBlock int) time.Duration {
+	best := time.Duration(math.MaxInt64)
+	for r := 0; r < tuneReps; r++ {
+		t0 := time.Now()
+		if par {
+			parallel.ForBlocked(a.R, rowBlock, func(lo, hi int) {
+				matmulRowRange(dst, a, b, lo, hi)
+			})
+		} else {
+			matmulRowRange(dst, a, b, 0, a.R)
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}

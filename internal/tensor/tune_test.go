@@ -1,0 +1,75 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestApplyKernelTuneModes: the three flag forms parse and install what they
+// say, and bad input is rejected without touching the live parameters.
+func TestApplyKernelTuneModes(t *testing.T) {
+	defer func() { _, _ = ApplyKernelTune("off") }()
+
+	res, err := ApplyKernelTune("off")
+	if err != nil || res.Mode != "off" || res.MinFlops != defaultMinFlops || res.RowBlock != defaultRowBlock {
+		t.Fatalf("off: %+v err=%v", res, err)
+	}
+
+	res, err = ApplyKernelTune("12345")
+	if err != nil || res.Mode != "fixed" || res.MinFlops != 12345 {
+		t.Fatalf("fixed: %+v err=%v", res, err)
+	}
+
+	// n <= 0 pins the crossover to "never parallel".
+	res, err = ApplyKernelTune("0")
+	if err != nil || res.MinFlops != math.MaxInt64 {
+		t.Fatalf("zero: %+v err=%v", res, err)
+	}
+
+	if _, err := ApplyKernelTune("fast"); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if got := KernelTune(); got.MinFlops != math.MaxInt64 {
+		t.Fatalf("bad mode changed live params: %+v", got)
+	}
+
+	res, err = ApplyKernelTune("auto")
+	if err != nil || res.Mode != "auto" || res.MinFlops <= 0 {
+		t.Fatalf("auto: %+v err=%v", res, err)
+	}
+}
+
+// TestKernelTuneBitwiseInvariant: the tune only moves the serial/parallel
+// split — a matmul large enough to cross every crossover setting must produce
+// bitwise-identical results at the defaults, with the parallel path forced
+// everywhere, and with it disabled entirely.
+func TestKernelTuneBitwiseInvariant(t *testing.T) {
+	defer func() { _, _ = ApplyKernelTune("off") }()
+	rng := rand.New(rand.NewSource(11))
+	const n = 96
+	a, b := New(n, n), New(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	run := func(mode string) []float64 {
+		if _, err := ApplyKernelTune(mode); err != nil {
+			t.Fatalf("ApplyKernelTune(%q): %v", mode, err)
+		}
+		dst := New(n, n)
+		MatMulInto(dst, a, b)
+		return dst.Data
+	}
+	ref := run("off")
+	for _, mode := range []string{"1", "0", "auto"} {
+		got := run(mode)
+		for i := range ref {
+			if math.Float64bits(got[i]) != math.Float64bits(ref[i]) {
+				t.Fatalf("mode %q: element %d diverged: %v != %v", mode, i, got[i], ref[i])
+			}
+		}
+	}
+}
