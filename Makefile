@@ -2,9 +2,9 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: ci fmt vet build test race bench bench-compare serve-smoke plan-smoke staticcheck
+.PHONY: ci fmt vet build test race bench bench-compare serve-smoke plan-smoke runs-smoke cover ledger-check staticcheck
 
-ci: fmt vet staticcheck build test race serve-smoke plan-smoke
+ci: fmt vet staticcheck build test race serve-smoke plan-smoke runs-smoke cover ledger-check
 
 # gofmt must be a no-op on the whole tree; offenders are listed so the gate
 # fails with the file names.
@@ -51,6 +51,27 @@ serve-smoke:
 plan-smoke:
 	GO="$(GO)" sh scripts/plan-smoke.sh
 
+# runs-smoke exercises the run ledger for real: record two same-seed training
+# runs plus a quick eval into a throwaway ledger, prove the canonical
+# sections byte-identical (cmp, not tolerance), render the error-attribution
+# diff, and pass the regression sentinel against a pinned baseline. Nonzero
+# exit on any failure.
+runs-smoke:
+	GO="$(GO)" sh scripts/runs-smoke.sh
+
+# cover prints per-package statement coverage (-short: same scope as the
+# race pass). Informational — the leading '-' keeps a coverage-run hiccup
+# from failing ci, whose gating `test` target already catches real failures.
+cover:
+	-$(GO) test -short -cover ./...
+
+# ledger-check reports on the local run ledger (runs/): lists recorded runs
+# and, when a baseline is pinned, renders the sentinel diff against the
+# latest run. Informational by design — the script always exits 0, so ci
+# stays green on a checkout with no recorded runs.
+ledger-check:
+	GO="$(GO)" sh scripts/ledger-check.sh
+
 # Paper-artifact benchmarks at the quick preset; one iteration each.
 # `make bench` also archives the run as a timestamped BENCH_<date>.json
 # (go test -json event stream) for cross-commit comparison. Same-day reruns
@@ -62,7 +83,10 @@ bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' -json . | tee $(BENCH_FILE)
 
 # bench-compare runs the benchmarks fresh (without archiving) and prints
-# ns/op, B/op, and allocs/op deltas against the most recent BENCH_*.json.
+# ns/op, B/op, and allocs/op deltas against the most recent BENCH_*.json —
+# benchcmp selects the baseline by archive name (date, then .N rerun
+# suffix), so the comparison is deterministic even after a checkout resets
+# every mtime. Pass BASELINE=<name|date|date.N> to pin an older archive.
 # The thresholds turn the comparison into a gate: any benchmark whose
 # allocs/op grew >10% — or allocated at all from a zero-alloc baseline, which
 # pins the guarded instrumentation-off hot paths — fails the target. The
@@ -70,8 +94,8 @@ bench:
 # back-to-back runs on a shared host drift by >10% from CPU contention
 # alone; allocs/op is deterministic, wall time is not. Benchmarks under
 # benchcmp's -nsfloor (10ms) are exempt from the ns gate entirely.
+BASELINE ?=
 bench-compare:
-	@base=$$(ls -t BENCH_*.json 2>/dev/null | head -1); \
-	if [ -z "$$base" ]; then echo "no BENCH_*.json baseline; run 'make bench' first"; exit 1; fi; \
 	$(GO) test -bench=. -benchmem -benchtime=1x -run '^$$' -json . | \
-		$(GO) run ./cmd/predtop-benchcmp -base $$base -allocthreshold 10 -nsthreshold 20
+		$(GO) run ./cmd/predtop-benchcmp -baseline '$(BASELINE)' \
+			-allocthreshold 10 -nsthreshold 20

@@ -8,6 +8,13 @@
 //	go test -bench=. -benchmem -benchtime=1x -run '^$' -json . |
 //	    predtop-benchcmp -base BENCH_2026-08-06.json
 //
+// The baseline archive may be named three ways: -base takes an explicit
+// file path; -baseline selects an archive from -dir (default ".") by name,
+// bare date, or date.N rerun suffix (e.g. "2026-08-06.1"); with neither,
+// the most recent archive in -dir is selected automatically — latest date
+// first, then highest .N rerun suffix, by name rather than file mtime so
+// the choice survives checkouts and copies.
+//
 // With -allocthreshold N the comparison also acts as a regression gate:
 // any benchmark whose allocs/op grew by more than N percent over the
 // baseline — or allocated at all where the baseline was zero, which is how
@@ -27,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
@@ -103,6 +111,74 @@ func parseFile(path string) (map[string]result, error) {
 	return parseStream(f)
 }
 
+// archiveName matches the `make bench` naming convention:
+// BENCH_<date>.json for the first archive of a day, BENCH_<date>.N.json for
+// same-day reruns.
+var archiveName = regexp.MustCompile(`^BENCH_(\d{4}-\d{2}-\d{2})(?:\.(\d+))?\.json$`)
+
+// archiveKey splits an archive file name into its date and rerun number
+// (0 for the unsuffixed original); ok is false for names outside the
+// convention.
+func archiveKey(name string) (date string, n int, ok bool) {
+	m := archiveName.FindStringSubmatch(name)
+	if m == nil {
+		return "", 0, false
+	}
+	if m[2] != "" {
+		n, _ = strconv.Atoi(m[2])
+	}
+	return m[1], n, true
+}
+
+// pickLatest returns the newest archive among names: latest date first, then
+// highest rerun suffix. The suffix comparison is numeric — .10 outranks .2 —
+// because the suffixes count up within a day. Names outside the BENCH_*
+// convention are ignored; "" means nothing matched.
+func pickLatest(names []string) string {
+	best, bestDate, bestN := "", "", -1
+	for _, name := range names {
+		date, n, ok := archiveKey(name)
+		if !ok {
+			continue
+		}
+		if date > bestDate || (date == bestDate && n > bestN) {
+			best, bestDate, bestN = name, date, n
+		}
+	}
+	return best
+}
+
+// selectBaseline resolves the baseline archive in dir: an explicit ref (a
+// path, an archive file name, or a bare "<date>" / "<date>.N"), or with ref
+// empty the most recent archive by name.
+func selectBaseline(dir, ref string) (string, error) {
+	if ref != "" {
+		for _, cand := range []string{
+			ref,
+			filepath.Join(dir, ref),
+			filepath.Join(dir, "BENCH_"+ref+".json"),
+		} {
+			if st, err := os.Stat(cand); err == nil && !st.IsDir() {
+				return cand, nil
+			}
+		}
+		return "", fmt.Errorf("no BENCH archive matches %q in %s", ref, dir)
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	names := make([]string, len(paths))
+	for i, p := range paths {
+		names[i] = filepath.Base(p)
+	}
+	latest := pickLatest(names)
+	if latest == "" {
+		return "", fmt.Errorf("no BENCH_*.json archives in %s; run 'make bench' first", dir)
+	}
+	return filepath.Join(dir, latest), nil
+}
+
 // delta renders "old → new (±x%)"; a missing old value renders as new only.
 func delta(unit string, old, new float64) string {
 	if old == 0 {
@@ -131,7 +207,9 @@ func humanize(v float64) string {
 }
 
 func main() {
-	base := flag.String("base", "", "baseline BENCH_*.json archive (required)")
+	base := flag.String("base", "", "baseline BENCH_*.json archive path (empty = select from -dir, see -baseline)")
+	baseline := flag.String("baseline", "", "select the baseline archive from -dir by name, date, or date.N (empty = most recent)")
+	dir := flag.String("dir", ".", "directory holding BENCH_*.json archives for baseline selection")
 	next := flag.String("new", "", "new run archive; reads the event stream from stdin when omitted")
 	allocThreshold := flag.Float64("allocthreshold", 0,
 		"fail (exit 1) when any benchmark's allocs/op grows by more than this percentage; a zero-alloc baseline fails on any allocation (0 = off)")
@@ -140,9 +218,17 @@ func main() {
 	nsFloor := flag.Float64("nsfloor", 10e6,
 		"exempt benchmarks whose baseline ns/op is below this from the ns gate; single iterations this short are scheduling noise, not signal (0 = gate everything)")
 	flag.Parse()
-	if *base == "" {
-		fmt.Fprintln(os.Stderr, "usage: predtop-benchcmp -base BENCH_old.json [-new BENCH_new.json]")
+	if *base != "" && *baseline != "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -base and -baseline are mutually exclusive")
 		os.Exit(2)
+	}
+	if *base == "" {
+		selected, err := selectBaseline(*dir, *baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcmp:", err)
+			os.Exit(1)
+		}
+		*base = selected
 	}
 	baseRes, err := parseFile(*base)
 	if err != nil {

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -74,5 +76,104 @@ func TestPrintBatchSeries(t *testing.T) {
 	}
 	if strings.Contains(out, "Lonely") || strings.Contains(out, "TableV") {
 		t.Fatalf("single-point family or non-series bench rendered:\n%s", out)
+	}
+}
+
+func TestArchiveKey(t *testing.T) {
+	cases := []struct {
+		name string
+		date string
+		n    int
+		ok   bool
+	}{
+		{"BENCH_2026-08-06.json", "2026-08-06", 0, true},
+		{"BENCH_2026-08-06.1.json", "2026-08-06", 1, true},
+		{"BENCH_2026-08-06.10.json", "2026-08-06", 10, true},
+		{"BENCH_2026-8-6.json", "", 0, false},
+		{"BENCH_2026-08-06.json.bak", "", 0, false},
+		{"bench_2026-08-06.json", "", 0, false},
+		{"results.json", "", 0, false},
+	}
+	for _, c := range cases {
+		date, n, ok := archiveKey(c.name)
+		if date != c.date || n != c.n || ok != c.ok {
+			t.Errorf("archiveKey(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				c.name, date, n, ok, c.date, c.n, c.ok)
+		}
+	}
+}
+
+func TestPickLatest(t *testing.T) {
+	cases := []struct {
+		names []string
+		want  string
+	}{
+		// Latest date wins regardless of list order.
+		{[]string{"BENCH_2026-08-06.json", "BENCH_2026-08-09.json", "BENCH_2026-08-08.json"},
+			"BENCH_2026-08-09.json"},
+		// Within a day, the highest rerun suffix is the most recent.
+		{[]string{"BENCH_2026-08-06.json", "BENCH_2026-08-06.1.json"},
+			"BENCH_2026-08-06.1.json"},
+		// Numeric, not lexical: .10 outranks .2.
+		{[]string{"BENCH_2026-08-06.2.json", "BENCH_2026-08-06.10.json"},
+			"BENCH_2026-08-06.10.json"},
+		// A newer date beats an older date's reruns.
+		{[]string{"BENCH_2026-08-06.9.json", "BENCH_2026-08-07.json"},
+			"BENCH_2026-08-07.json"},
+		// Non-archive names are ignored.
+		{[]string{"results.json", "BENCH_2026-08-06.json"}, "BENCH_2026-08-06.json"},
+		{[]string{"results.json"}, ""},
+		{nil, ""},
+	}
+	for _, c := range cases {
+		if got := pickLatest(c.names); got != c.want {
+			t.Errorf("pickLatest(%v) = %q, want %q", c.names, got, c.want)
+		}
+	}
+}
+
+func TestSelectBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		"BENCH_2026-08-06.json",
+		"BENCH_2026-08-06.1.json",
+		"BENCH_2026-08-08.json",
+		"results.json",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Automatic selection: newest archive by name.
+	got, err := selectBaseline(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_2026-08-08.json" {
+		t.Fatalf("auto-selected %s", got)
+	}
+
+	// Explicit refs: archive name, bare date, date.N, and a direct path.
+	for ref, want := range map[string]string{
+		"BENCH_2026-08-06.json": "BENCH_2026-08-06.json",
+		"2026-08-06":            "BENCH_2026-08-06.json",
+		"2026-08-06.1":          "BENCH_2026-08-06.1.json",
+		filepath.Join(dir, "BENCH_2026-08-08.json"): "BENCH_2026-08-08.json",
+	} {
+		got, err := selectBaseline(dir, ref)
+		if err != nil {
+			t.Fatalf("selectBaseline(%q): %v", ref, err)
+		}
+		if filepath.Base(got) != want {
+			t.Errorf("selectBaseline(%q) = %s, want %s", ref, got, want)
+		}
+	}
+
+	if _, err := selectBaseline(dir, "2026-01-01"); err == nil {
+		t.Fatal("unknown ref should fail")
+	}
+	if _, err := selectBaseline(t.TempDir(), ""); err == nil {
+		t.Fatal("empty dir should fail auto-selection")
 	}
 }

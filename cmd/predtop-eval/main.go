@@ -5,9 +5,9 @@
 // Usage:
 //
 //	predtop-eval [-preset quick|paper] [-bench GPT-3|MoE|all]
-//	             [-platform 1|2|0] [-fig3frac 50] [-out results.txt]
+//	             [-platform 1|2|0] [-fig3frac 50] [-seed 0] [-out results.txt]
 //	             [-metrics run.jsonl] [-trace run.json] [-listen :9090]
-//	             [-profile spans.txt] [-driftmre 25] [-quiet]
+//	             [-profile spans.txt] [-driftmre 25] [-runledger runs] [-quiet]
 //
 // -metrics streams JSONL records (run config, one record per grid cell,
 // per-family accuracy records, a final metrics snapshot); -trace writes a
@@ -16,7 +16,11 @@
 // in Prometheus text format, GET /healthz, GET /debug/flightrecorder,
 // /debug/pprof/); -profile writes a hierarchical self-time span tree covering
 // grid phases and predictor layers; -driftmre arms the accuracy monitor's
-// drift warning at the given MRE percentage; -quiet silences the per-cell
+// drift warning at the given MRE percentage; -seed overrides the preset's
+// seed (0 keeps the preset default); -runledger records the run's manifest —
+// per-table win rates, per-(family, mesh, op) accuracy stats, and per-family
+// error-attribution snapshots — into the given run-ledger directory for
+// predtop-runs to list, diff, and gate; -quiet silences the per-cell
 // progress on stderr (the report itself still prints). All of them observe
 // only — the tables are bitwise identical with or without them.
 //
@@ -34,11 +38,14 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"predtop/internal/cluster"
 	"predtop/internal/experiments"
 	"predtop/internal/obs"
 	"predtop/internal/parallel"
+	"predtop/internal/predictor"
+	"predtop/internal/runledger"
 )
 
 func main() {
@@ -55,9 +62,12 @@ func main() {
 	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/flightrecorder, /debug/pprof/) on this address, e.g. :9090")
 	profilePath := flag.String("profile", "", "write a per-phase/per-layer self-time span profile to this file")
 	driftMRE := flag.Float64("driftmre", 0, "warn and count drift when a grid cell family's test MRE exceeds this percentage (0 = off)")
+	seed := flag.Int64("seed", 0, "override the preset's random seed (0 = preset default)")
+	ledgerDir := flag.String("runledger", "", "record this run's manifest into the given run-ledger directory (see predtop-runs)")
 	quiet := flag.Bool("quiet", false, "suppress per-cell progress on stderr (the report still prints)")
 	flag.Parse()
 
+	started := time.Now()
 	var p experiments.Preset
 	switch *presetName {
 	case "quick":
@@ -70,8 +80,32 @@ func main() {
 		log.Fatalf("unknown preset %q", *presetName)
 	}
 	p.Workers = *workers
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+
+	ledger := runledger.Open(*ledgerDir)
+	var man *runledger.Manifest
+	if ledger != nil {
+		man = runledger.New("predtop-eval", p.Seed)
+		man.Session.StartedUnix = started.Unix()
+		man.SetConfig("preset", p.Name)
+		man.SetConfig("bench", strings.ToLower(*bench))
+		man.SetConfig("platform", fmt.Sprint(*platformSel))
+		man.SetConfig("fig3frac", fmt.Sprint(*fig3frac))
+		man.SetConfig("ablate", fmt.Sprint(*ablate))
+		man.SetConfig("tables", fmt.Sprint(*tables))
+		man.SetConfig("driftmre", fmt.Sprint(*driftMRE))
+		man.SetOutput("out", *out)
+		man.SetOutput("metrics", *metricsPath)
+		man.SetOutput("trace", *tracePath)
+		man.SetOutput("listen", *listen)
+		man.SetOutput("profile", *profilePath)
+		man.RecordSessionMetric("workers", float64(*workers))
+	}
 
 	tc := obs.NewTraceContext(p.Seed, "predtop-eval")
+	man.SetTraceID(tc.TraceID())
 	ctx := obs.WithTraceContext(context.Background(), tc)
 	fr := obs.NewFlightRecorder(0)
 	fr.SetTraceContext(tc)
@@ -110,12 +144,12 @@ func main() {
 	}
 	progressLg := obs.NewLogger(os.Stderr, *quiet).WithTrace(tc)
 	var acc *obs.AccuracyMonitor
-	if reg != nil || sink != nil {
+	if reg != nil || sink != nil || man != nil {
 		acc = obs.NewAccuracyMonitor(obs.AccuracyConfig{
 			DriftThresholdPct: *driftMRE, Metrics: reg, Log: progressLg,
 		})
 	}
-	if sink != nil || tb != nil || reg != nil || prof != nil {
+	if sink != nil || tb != nil || reg != nil || prof != nil || acc != nil {
 		p.Obs = &obs.Observer{Metrics: reg, Events: sink, Trace: tb, Prof: prof, Acc: acc, Flight: fr, Ctx: tc}
 	}
 	progress := progressLg.Writer()
@@ -174,6 +208,7 @@ func main() {
 			t := experiments.RunMRETable(p, b, plat, progress)
 			fmt.Fprint(w, t.Render())
 			fmt.Fprintf(w, "DAG Transformer wins %.1f%% of cells\n\n", t.WinRate(2)*100)
+			man.RecordMetric(fmt.Sprintf("win_rate_%s_p%d", strings.ToLower(b.Name), plat.Index), t.WinRate(2)*100)
 			mreTables = append(mreTables, t)
 		}
 	}
@@ -195,6 +230,21 @@ func main() {
 		}
 	}
 
+	if man != nil {
+		// Merge each family's attribution across the tables so the manifest
+		// answers "where do this predictor's residuals live" for the whole run.
+		parts := map[string][]*predictor.Attribution{}
+		for _, t := range mreTables {
+			for fam, a := range t.Attribution {
+				parts[fam] = append(parts[fam], a)
+			}
+		}
+		for fam, as := range parts {
+			man.RecordAttribution(fam, predictor.MergeAttributions(as...))
+		}
+		man.RecordAccuracy(acc)
+	}
+
 	acc.EmitTo(sink)
 	sink.EmitMetrics(reg)
 	if err := sink.Close(); err != nil {
@@ -209,5 +259,13 @@ func main() {
 		if err := prof.WriteFile(*profilePath); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if man != nil {
+		man.Session.WallSeconds = time.Since(started).Seconds()
+		entry, err := ledger.Put(man)
+		if err != nil {
+			log.Fatal(err)
+		}
+		progressLg.Printf("recorded run %s in %s", entry.ID, ledger.Dir())
 	}
 }

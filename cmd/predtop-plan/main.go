@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	predtop-plan [-preset quick|paper] [-bench GPT-3|MoE|all] [-out results.txt]
+//	predtop-plan [-preset quick|paper] [-bench GPT-3|MoE|all] [-seed 0]
+//	             [-out results.txt]
 //	             [-metrics run.jsonl] [-trace run.json] [-listen :9090]
-//	             [-profile spans.txt] [-driftmre 25] [-quiet]
+//	             [-profile spans.txt] [-driftmre 25] [-runledger runs] [-quiet]
 //	             [-report DIR] [-whatif SPEC] [-diff a.json,b.json]
 //
 // -report writes each feasible plan's provenance report — per-stage
@@ -30,9 +31,13 @@
 // GET /debug/flightrecorder, /debug/pprof/); -profile writes a hierarchical
 // self-time span tree covering planner phases (estimate, DP) and embedded
 // predictor training; -driftmre arms the accuracy monitor's drift warning at
-// the given MRE percentage; -quiet silences the per-run progress on stderr
-// (the report still prints). All of them observe only — plans are bitwise
-// identical with or without them.
+// the given MRE percentage; -seed overrides the preset's seed (0 keeps the
+// preset default); -runledger records the run's manifest — each feasible
+// plan's Eqn-4 decomposition and predictor fingerprint plus per-key accuracy
+// stats — into the given run-ledger directory for predtop-runs to list,
+// diff, and gate; -quiet silences the per-run progress on stderr (the report
+// still prints). All of them observe only — plans are bitwise identical with
+// or without them.
 //
 // Every run derives a deterministic trace id from -seed, stamped onto every
 // telemetry channel (see predtop-train's doc comment); worker panics and
@@ -48,12 +53,14 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"predtop/internal/cluster"
 	"predtop/internal/experiments"
 	"predtop/internal/obs"
 	"predtop/internal/parallel"
 	"predtop/internal/planner"
+	"predtop/internal/runledger"
 )
 
 func main() {
@@ -66,6 +73,8 @@ func main() {
 	listen := flag.String("listen", "", "serve live telemetry (/metrics, /healthz, /debug/flightrecorder, /debug/pprof/) on this address, e.g. :9090")
 	profilePath := flag.String("profile", "", "write a per-phase self-time span profile to this file")
 	driftMRE := flag.Float64("driftmre", 0, "warn and count drift when a predictor family's validation MRE exceeds this percentage (0 = off)")
+	seed := flag.Int64("seed", 0, "override the preset's random seed (0 = preset default)")
+	ledgerDir := flag.String("runledger", "", "record this run's manifest into the given run-ledger directory (see predtop-runs)")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress on stderr (the report still prints)")
 	reportDir := flag.String("report", "", "write per-plan provenance reports (JSON + text) into this directory")
 	whatifSpec := flag.String("whatif", "", "replay each plan against a perturbation (e.g. \"microbatches=32,internode-bw=x4\") and print the latency diff")
@@ -100,8 +109,33 @@ func main() {
 		log.Fatalf("unknown preset %q", *presetName)
 	}
 	p.Workers = *workers
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+
+	started := time.Now()
+	ledger := runledger.Open(*ledgerDir)
+	var man *runledger.Manifest
+	if ledger != nil {
+		man = runledger.New("predtop-plan", p.Seed)
+		man.Session.StartedUnix = started.Unix()
+		man.SetConfig("preset", p.Name)
+		man.SetConfig("bench", strings.ToLower(*bench))
+		man.SetConfig("driftmre", fmt.Sprint(*driftMRE))
+		if *whatifSpec != "" {
+			man.SetConfig("whatif", whatif.String())
+		}
+		man.SetOutput("out", *out)
+		man.SetOutput("metrics", *metricsPath)
+		man.SetOutput("trace", *tracePath)
+		man.SetOutput("listen", *listen)
+		man.SetOutput("profile", *profilePath)
+		man.SetOutput("report", *reportDir)
+		man.RecordSessionMetric("workers", float64(*workers))
+	}
 
 	tc := obs.NewTraceContext(p.Seed, "predtop-plan")
+	man.SetTraceID(tc.TraceID())
 	ctx := obs.WithTraceContext(context.Background(), tc)
 	fr := obs.NewFlightRecorder(0)
 	fr.SetTraceContext(tc)
@@ -140,12 +174,12 @@ func main() {
 	}
 	progressLg := obs.NewLogger(os.Stderr, *quiet).WithTrace(tc)
 	var acc *obs.AccuracyMonitor
-	if reg != nil || sink != nil {
+	if reg != nil || sink != nil || man != nil {
 		acc = obs.NewAccuracyMonitor(obs.AccuracyConfig{
 			DriftThresholdPct: *driftMRE, Metrics: reg, Log: progressLg,
 		})
 	}
-	if sink != nil || tb != nil || reg != nil || prof != nil || *reportDir != "" || *whatifSpec != "" {
+	if sink != nil || tb != nil || reg != nil || prof != nil || *reportDir != "" || *whatifSpec != "" || acc != nil {
 		p.Obs = &obs.Observer{Metrics: reg, Events: sink, Trace: tb, Prof: prof, Acc: acc, Flight: fr, Ctx: tc}
 	}
 	progress := progressLg.Writer()
@@ -184,6 +218,17 @@ func main() {
 		}
 		runs := experiments.RunFig10(p, b, progress)
 		fmt.Fprintln(w, experiments.RenderFig10(b.Name, runs))
+		for _, r := range runs {
+			if !r.OK {
+				continue
+			}
+			man.RecordPlan(r.Report)
+			if man != nil {
+				key := slug(b.Name) + "-" + slug(r.Version)
+				man.RecordMetric("optimize_seconds_"+key, r.OptimizeSeconds)
+				man.RecordMetric("iteration_latency_"+key, r.IterationLatency)
+			}
+		}
 		if *reportDir != "" {
 			if err := saveReports(*reportDir, b.Name, runs); err != nil {
 				log.Fatal(err)
@@ -195,6 +240,8 @@ func main() {
 			}
 		}
 	}
+
+	man.RecordAccuracy(acc)
 
 	acc.EmitTo(sink)
 	sink.EmitMetrics(reg)
@@ -210,6 +257,14 @@ func main() {
 		if err := prof.WriteFile(*profilePath); err != nil {
 			log.Fatal(err)
 		}
+	}
+	if man != nil {
+		man.Session.WallSeconds = time.Since(started).Seconds()
+		entry, err := ledger.Put(man)
+		if err != nil {
+			log.Fatal(err)
+		}
+		progressLg.Printf("recorded run %s in %s", entry.ID, ledger.Dir())
 	}
 }
 

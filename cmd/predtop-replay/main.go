@@ -8,13 +8,17 @@
 //	predtop-replay -url http://127.0.0.1:9400 \
 //	               [-n 100000] [-c 32] [-bench GPT-3,MoE] [-layers 8] \
 //	               [-maxlen 3] [-model key] [-gtfrac 0.1] [-seed 1] \
-//	               [-json result.json] [-smoke]
+//	               [-json result.json] [-runledger runs] [-quiet] [-smoke]
 //
 // -smoke issues a single query and exits 0 only when it was answered AND the
 // daemon is not in SLO breach — the one-shot liveness-plus-health probe used
 // by `make serve-smoke`. Without it, the full replay prints a human summary
 // including the daemon's SLO verdict and (with -json) writes the ReplayResult
-// for archiving next to the BENCH_*.json files.
+// for archiving next to the BENCH_*.json files; -quiet suppresses the
+// summary (the exit status still reports errors); -runledger records the
+// replay's manifest — the query-stream config plus throughput, latency, and
+// cache readings as session metrics — into the given run-ledger directory
+// for predtop-runs to list and inspect.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"predtop"
 )
@@ -39,6 +44,8 @@ func main() {
 	gtFrac := flag.Float64("gtfrac", 0, "fraction of queries carrying a synthetic ground_truth")
 	seed := flag.Int64("seed", 1, "query-stream seed")
 	jsonPath := flag.String("json", "", "write the ReplayResult as JSON to this file")
+	ledgerDir := flag.String("runledger", "", "record this replay's manifest into the given run-ledger directory (see predtop-runs)")
+	quiet := flag.Bool("quiet", false, "suppress the human summary (exit status still reports errors)")
 	smoke := flag.Bool("smoke", false, "one query, exit 0 iff it was answered")
 	flag.Parse()
 
@@ -62,6 +69,7 @@ func main() {
 		return
 	}
 
+	started := time.Now()
 	res, err := predtop.ServeReplay(predtop.ServeReplayConfig{
 		URL: *url, Queries: *queries, Concurrency: *conc, Seed: *seed,
 		Benches: splitBenches(*benches), Layers: *layers, MaxLen: *maxLen,
@@ -70,13 +78,45 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("replay: %d queries, %d errors, %.2fs wall, %.0f qps\n",
-		res.Queries, res.Errors, res.WallSeconds, res.QPS)
-	fmt.Printf("latency: p50 %.2fms  p95 %.2fms  p99 %.2fms\n", res.P50ms, res.P95ms, res.P99ms)
-	fmt.Printf("cache:   %d hits / %d misses (hit rate %.1f%%)\n",
-		res.CacheHits, res.CacheMisses, res.CacheHitRate*100)
-	fmt.Printf("batches: %d (mean size %.2f, max %.0f)\n", res.Batches, res.MeanBatch, res.MaxBatch)
-	fmt.Printf("slo:     %s\n", sloVerdict(res))
+	if !*quiet {
+		fmt.Printf("replay: %d queries, %d errors, %.2fs wall, %.0f qps\n",
+			res.Queries, res.Errors, res.WallSeconds, res.QPS)
+		fmt.Printf("latency: p50 %.2fms  p95 %.2fms  p99 %.2fms\n", res.P50ms, res.P95ms, res.P99ms)
+		fmt.Printf("cache:   %d hits / %d misses (hit rate %.1f%%)\n",
+			res.CacheHits, res.CacheMisses, res.CacheHitRate*100)
+		fmt.Printf("batches: %d (mean size %.2f, max %.0f)\n", res.Batches, res.MeanBatch, res.MaxBatch)
+		fmt.Printf("slo:     %s\n", sloVerdict(res))
+	}
+	if ledger := predtop.OpenRunLedger(*ledgerDir); ledger != nil {
+		man := predtop.NewRunManifest("predtop-replay", *seed)
+		man.Session.StartedUnix = started.Unix()
+		man.SetTraceID(predtop.NewTraceContext(*seed, "predtop-replay").TraceID())
+		// The query stream is seed-deterministic (canonical); everything the
+		// daemon answered — throughput, latency, cache behavior — is a fact
+		// about this particular session, so it lands in the session section.
+		man.SetConfig("n", fmt.Sprint(*queries))
+		man.SetConfig("c", fmt.Sprint(*conc))
+		man.SetConfig("bench", strings.ToLower(*benches))
+		man.SetConfig("layers", fmt.Sprint(*layers))
+		man.SetConfig("maxlen", fmt.Sprint(*maxLen))
+		man.SetConfig("gtfrac", fmt.Sprint(*gtFrac))
+		man.SetOutput("url", *url)
+		man.SetOutput("json", *jsonPath)
+		man.RecordSessionMetric("qps", res.QPS)
+		man.RecordSessionMetric("errors", float64(res.Errors))
+		man.RecordSessionMetric("cache_hit_rate", res.CacheHitRate)
+		man.RecordSessionMetric("mean_batch", res.MeanBatch)
+		man.RecordBench("replay_p50", res.P50ms*1e6, 0)
+		man.RecordBench("replay_p99", res.P99ms*1e6, 0)
+		man.Session.WallSeconds = res.WallSeconds
+		entry, err := ledger.Put(man)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*quiet {
+			fmt.Printf("recorded run %s in %s\n", entry.ID, ledger.Dir())
+		}
+	}
 	if *jsonPath != "" {
 		b, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

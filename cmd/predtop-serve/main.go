@@ -9,7 +9,8 @@
 //	              [-maxbatch 32] [-window 2ms] [-workers 0] [-cachesize 4096] \
 //	              [-metrics serve.jsonl] [-addrfile serve.addr] [-quiet] \
 //	              [-slo-p99 500ms] [-slo-err 0.05] [-accesslog access.jsonl] \
-//	              [-incidents ./incidents] [-float32] [-kernel-tune auto]
+//	              [-incidents ./incidents] [-float32] [-kernel-tune auto] \
+//	              [-runledger runs]
 //
 // Endpoints: POST /predict (query a model), GET /models (registry listing),
 // POST /reload (hot-reload the model directory), GET /statusz (human-readable
@@ -28,6 +29,11 @@
 // record. Both objectives zero disables SLO tracking. -accesslog streams the
 // sampled per-request records (first requests, slow requests, errors, and a
 // steady 1-in-64 background sample) with per-phase trace spans.
+//
+// -runledger records the serving session's manifest at shutdown — the served
+// models' weight fingerprint, the request/batch/cache counters, and the
+// session's wall time — into the given run-ledger directory for predtop-runs
+// to list and inspect.
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -60,9 +67,29 @@ func main() {
 	incidentDir := flag.String("incidents", "", "write SLO-breach evidence bundles (flight dump + CPU profile) under this directory")
 	useFloat32 := flag.Bool("float32", false, "serve through reduced-precision float32 inference engines (tolerance-pinned vs float64, not bitwise)")
 	kernelTune := flag.String("kernel-tune", os.Getenv("PREDTOP_KERNEL_TUNE"), "matmul kernel split: off (built-in defaults), auto (measure on this host), or a fixed crossover in multiply-adds")
+	ledgerDir := flag.String("runledger", "", "record this serving session's manifest at shutdown into the given run-ledger directory (see predtop-runs)")
 	flag.Parse()
 
+	started := time.Now()
+	ledger := predtop.OpenRunLedger(*ledgerDir)
+	var man *predtop.RunManifest
+	if ledger != nil {
+		man = predtop.NewRunManifest("predtop-serve", *seed)
+		man.Session.StartedUnix = started.Unix()
+		man.SetConfig("float32", fmt.Sprint(*useFloat32))
+		man.SetConfig("slo_p99", sloP99.String())
+		man.SetConfig("slo_err", fmt.Sprint(*sloErr))
+		man.SetOutput("models", *modelDir)
+		man.SetOutput("metrics", *metricsPath)
+		man.SetOutput("accesslog", *accessPath)
+		man.SetOutput("incidents", *incidentDir)
+		man.RecordSessionMetric("maxbatch", float64(*maxBatch))
+		man.RecordSessionMetric("cachesize", float64(*cacheSize))
+		man.RecordSessionMetric("workers", float64(*workers))
+	}
+
 	tc := predtop.NewTraceContext(*seed, "predtop-serve")
+	man.SetTraceID(tc.TraceID())
 	fr := predtop.NewFlightRecorder(0)
 	fr.SetTraceContext(tc)
 	predtop.SetWorkerPanicHook(fr.PanicHook(os.Stderr))
@@ -159,5 +186,36 @@ func main() {
 		}
 		lg.Printf("%v: shutting down", sig)
 		break
+	}
+
+	if man != nil {
+		// Pin the identity of the weights this session served (sorted
+		// registry order, same FNV-1a scheme as plan provenance) and archive
+		// the session's serve/SLO counters before the daemon tears down.
+		entries, gen := srv.Registry().Snapshot()
+		trs := make([]predtop.Trained, 0, len(entries))
+		for _, e := range entries {
+			trs = append(trs, e.Trained)
+		}
+		man.SetWeightsFingerprint(predtop.WeightFingerprint(trs...))
+		man.RecordSessionMetric("registry_generation", float64(gen))
+		man.RecordSessionMetric("models", float64(len(entries)))
+		for _, mt := range reg.Snapshot() {
+			if mt.Kind == "histogram" ||
+				(!strings.HasPrefix(mt.Name, "predtop_serve_") && !strings.HasPrefix(mt.Name, "predtop_slo_")) {
+				continue
+			}
+			key := mt.Name
+			if mt.Labels != "" {
+				key += "{" + mt.Labels + "}"
+			}
+			man.RecordSessionMetric(key, mt.Value)
+		}
+		man.Session.WallSeconds = time.Since(started).Seconds()
+		entry, err := ledger.Put(man)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lg.Printf("recorded run %s in %s", entry.ID, ledger.Dir())
 	}
 }

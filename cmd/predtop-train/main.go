@@ -7,7 +7,8 @@
 //	predtop-train -bench GPT-3 -platform 2 -mesh 1 -conf 1 -arch tran \
 //	              -layers 12 -samples 0 -maxlen 3 -epochs 30 -o model.predtop \
 //	              [-metrics run.jsonl] [-trace run.json] [-listen :9090] \
-//	              [-profile spans.txt] [-driftmre 25] [-kernel-tune auto] [-quiet]
+//	              [-profile spans.txt] [-driftmre 25] [-kernel-tune auto] \
+//	              [-runledger runs] [-quiet]
 //
 // -metrics streams JSONL records (run config, one record per epoch, a final
 // summary, accuracy records, and a metrics snapshot); -trace writes a
@@ -18,9 +19,12 @@
 // GET /healthz, GET /debug/flightrecorder, and /debug/pprof/; -profile writes
 // a hierarchical self-time span tree attributing wall time to training phases
 // and individual predictor layers; -driftmre arms the accuracy monitor's
-// drift warning at the given MRE percentage; -quiet suppresses progress
-// lines. All of them observe only — trained weights are bitwise identical
-// with or without them.
+// drift warning at the given MRE percentage; -runledger records the run's
+// manifest — config fingerprint, trained-weight fingerprint, held-out MRE,
+// per-key accuracy stats, and an error-attribution snapshot — into the given
+// run-ledger directory for predtop-runs to list, diff, and gate; -quiet
+// suppresses progress lines. All of them observe only — trained weights are
+// bitwise identical with or without them.
 //
 // Every run derives a deterministic trace id from -seed; the same id appears
 // in the Prometheus exposition (predtop_run_info), every JSONL record, the
@@ -38,6 +42,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"predtop"
 )
@@ -62,8 +67,17 @@ func main() {
 	profilePath := flag.String("profile", "", "write a per-phase/per-layer self-time span profile to this file")
 	driftMRE := flag.Float64("driftmre", 0, "warn and count drift when held-out MRE exceeds this percentage (0 = off)")
 	kernelTune := flag.String("kernel-tune", os.Getenv("PREDTOP_KERNEL_TUNE"), "matmul kernel split: off (built-in defaults), auto (measure on this host), or a fixed crossover in multiply-adds")
+	ledgerDir := flag.String("runledger", "", "record this run's manifest into the given run-ledger directory (see predtop-runs)")
 	quiet := flag.Bool("quiet", false, "suppress progress output")
 	flag.Parse()
+
+	started := time.Now()
+	ledger := predtop.OpenRunLedger(*ledgerDir)
+	var man *predtop.RunManifest
+	if ledger != nil {
+		man = predtop.NewRunManifest("predtop-train", *seed)
+		man.Session.StartedUnix = started.Unix()
+	}
 
 	// One deterministic correlation identity per run: seed in, trace id out.
 	tc := predtop.NewTraceContext(*seed, "predtop-train")
@@ -124,7 +138,7 @@ func main() {
 		}
 	}
 	var acc *predtop.AccuracyMonitor
-	if reg != nil || sink != nil {
+	if reg != nil || sink != nil || man != nil {
 		acc = predtop.NewAccuracyMonitor(predtop.AccuracyConfig{
 			DriftThresholdPct: *driftMRE, MinSamples: 1, Metrics: reg, Log: lg,
 		})
@@ -168,6 +182,30 @@ func main() {
 		Seed     int64  `json:"seed"`
 		Workers  int    `json:"workers"`
 	}{"run", "predtop-train", cfg.Name, *platformSel, *meshIdx, *confIdx, *arch, *maxLen, *epochs, *seed, *workers})
+
+	// Result-determining flags land in the manifest's canonical section;
+	// paths, addresses, and worker counts are session facts (reruns at any
+	// worker count are bitwise identical, so they must not move the run id).
+	man.SetTraceID(tc.TraceID())
+	man.SetConfig("bench", cfg.Name)
+	man.SetConfig("platform", fmt.Sprint(*platformSel))
+	man.SetConfig("mesh", fmt.Sprint(*meshIdx))
+	man.SetConfig("conf", fmt.Sprint(*confIdx))
+	man.SetConfig("arch", strings.ToLower(*arch))
+	man.SetConfig("layers", fmt.Sprint(cfg.Layers))
+	man.SetConfig("samples", fmt.Sprint(*samples))
+	man.SetConfig("maxlen", fmt.Sprint(*maxLen))
+	man.SetConfig("epochs", fmt.Sprint(*epochs))
+	man.SetConfig("trainfrac", fmt.Sprint(*trainFrac))
+	man.SetConfig("driftmre", fmt.Sprint(*driftMRE))
+	man.SetOutput("o", *out)
+	man.SetOutput("metrics", *metricsPath)
+	man.SetOutput("trace", *tracePath)
+	man.SetOutput("listen", *listen)
+	man.SetOutput("profile", *profilePath)
+	if man != nil {
+		man.RecordSessionMetric("workers", float64(*workers))
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	profSpan := tb.Begin("phases", "profile")
@@ -244,6 +282,18 @@ func main() {
 	fr.Note("run", "evaluated")
 	lg.Printf("test MRE: %.2f%% over %d held-out stages", mre, len(test))
 
+	if man != nil {
+		man.SetWeightsFingerprint(predtop.WeightFingerprint(trained))
+		man.RecordMetric("test_mre_pct", mre)
+		man.RecordMetric("test_stages", float64(len(test)))
+		man.RecordMetric("epochs_run", float64(res.EpochsRun))
+		man.RecordMetric("best_epoch", float64(res.BestEpoch))
+		man.RecordMetric("best_val_loss", res.BestValLoss)
+		man.RecordAttribution(net.Name(), trained.Attribute(ds, test))
+		man.RecordAccuracy(acc)
+		man.RecordSessionMetric("train_wall_seconds", res.WallSeconds)
+	}
+
 	sink.Emit(struct {
 		Event       string  `json:"event"`
 		EpochsRun   int     `json:"epochs_run"`
@@ -275,4 +325,13 @@ func main() {
 		log.Fatal(err)
 	}
 	lg.Printf("saved model to %s", *out)
+
+	if man != nil {
+		man.Session.WallSeconds = time.Since(started).Seconds()
+		entry, err := ledger.Put(man)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lg.Printf("recorded run %s in %s", entry.ID, ledger.Dir())
+	}
 }

@@ -1,0 +1,60 @@
+package predtop
+
+import (
+	"os"
+	"regexp"
+	"testing"
+)
+
+// flagDecl matches a top-level flag declaration in a command's main.go and
+// captures the flag name. The commands declare every flag with the stdlib
+// flag package, so scanning source keeps this test in sync without running
+// the binaries.
+var flagDecl = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Float64|Duration)\("([a-z0-9-]+)"`)
+
+// TestCLIFlagParity pins the cross-cutting flag contract between the
+// run-producing commands: every tool that records into the run ledger takes
+// the same -seed/-quiet/-runledger trio, and the experiment drivers share
+// the same telemetry flag set. A new command (or a renamed flag) that breaks
+// the convention fails here with the tool and flag named.
+func TestCLIFlagParity(t *testing.T) {
+	runProducers := []string{
+		"predtop-train", "predtop-eval", "predtop-plan", "predtop-serve", "predtop-replay",
+	}
+	experimentDrivers := []string{"predtop-train", "predtop-eval", "predtop-plan"}
+
+	groups := []struct {
+		what  string
+		flags []string
+		tools []string
+	}{
+		{"ledger trio", []string{"seed", "quiet", "runledger"}, runProducers},
+		{"telemetry set", []string{"workers", "metrics", "trace", "listen", "profile", "driftmre"}, experimentDrivers},
+	}
+
+	declared := map[string]map[string]bool{}
+	for _, tool := range runProducers {
+		src, err := os.ReadFile("cmd/" + tool + "/main.go")
+		if err != nil {
+			t.Fatal(err)
+		}
+		flags := map[string]bool{}
+		for _, m := range flagDecl.FindAllStringSubmatch(string(src), -1) {
+			flags[m[1]] = true
+		}
+		if len(flags) == 0 {
+			t.Fatalf("%s: no flag declarations found; has the declaration style changed?", tool)
+		}
+		declared[tool] = flags
+	}
+
+	for _, g := range groups {
+		for _, tool := range g.tools {
+			for _, name := range g.flags {
+				if !declared[tool][name] {
+					t.Errorf("%s: missing -%s (%s parity)", tool, name, g.what)
+				}
+			}
+		}
+	}
+}

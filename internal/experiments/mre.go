@@ -32,6 +32,12 @@ type MRETable struct {
 	// MRE[f][s][m] is the test MRE (%) at fraction index f, scenario index
 	// s, model index m (ModelNames order).
 	MRE [][][]float64
+	// Attribution maps each model family (ModelNames entry) to its
+	// error-attribution snapshot merged across every (fraction, scenario)
+	// cell of the grid, in grid order — so the table reports not just how
+	// wrong each predictor is per cell but where the residuals live
+	// (op type, node count, stage depth).
+	Attribution map[string]*predictor.Attribution
 }
 
 // newModel instantiates one of the three predictors at the preset's sizes.
@@ -112,6 +118,13 @@ func RunMRETable(p Preset, bench Benchmark, platform cluster.Platform, log io.Wr
 	cellCtr := reg.Counter("grid_cells_total")
 	gridSpan := p.Obs.Tracer().Begin(gridTrack, "train cells")
 	logs := make([]string, len(cells))
+	// Per-cell evaluation output, kept for the serial post-pass: the
+	// accuracy-monitor feed and the JSONL cell records happen in grid order
+	// after the parallel loop, never inside it, so cells sharing a monitor
+	// key stream their samples in a run-independent order.
+	evals := make([]predictor.Evaluation, len(cells))
+	tests := make([][]int, len(cells))
+	records := make([]gridCellRecord, len(cells))
 	parallel.ForLimit(len(cells), p.Workers, func(ci int) {
 		c := cells[ci]
 		cellStart := time.Now()
@@ -123,27 +136,46 @@ func RunMRETable(p Preset, bench Benchmark, platform cluster.Platform, log io.Wr
 		cfg.Seed = p.Seed + int64(c.fi*1000+c.si*10+c.mi)
 		model := p.newModel(ModelNames[c.mi], cfg.Seed)
 		trained, res := predictor.Train(model, ds, train, val, cfg)
-		sc := scenarios[c.si]
-		mre := trained.MREWith(ds, test, p.Obs.Accuracy(), obs.AccuracyKey{
-			Family: ModelNames[c.mi],
-			Mesh:   fmt.Sprintf("%dx%d", sc.Mesh.Nodes, sc.Mesh.GPUsPerNode),
-			Op:     bench.Name,
-		})
-		t.MRE[c.fi][c.si][c.mi] = mre
+		ev := trained.Evaluate(ds, test)
+		evals[ci], tests[ci] = ev, test
+		t.MRE[c.fi][c.si][c.mi] = ev.MREPct
 		wall := time.Since(cellStart).Seconds()
 		cellHist.Observe(wall)
 		cellCtr.Inc()
-		p.Obs.Sink().Emit(gridCellRecord{
+		records[ci] = gridCellRecord{
 			Event: "grid_cell", Benchmark: bench.Name, Platform: platform.Name,
 			Mesh: scenarios[c.si].Mesh.Index, Config: scenarios[c.si].Config.Index,
 			Fraction: p.Fractions[c.fi], Model: ModelNames[c.mi],
-			MRE: mre, Epochs: res.EpochsRun, BestEpoch: res.BestEpoch,
+			MRE: ev.MREPct, Epochs: res.EpochsRun, BestEpoch: res.BestEpoch,
 			TrainWallS: res.WallSeconds, CellWallS: wall,
-		})
+		}
 		logs[ci] = fmt.Sprintf("  [%s %v] frac %d%% %s: MRE %.2f%% (%d epochs, %.1fs)\n",
-			bench.Name, scenarios[c.si], p.Fractions[c.fi], ModelNames[c.mi], mre, res.EpochsRun, res.WallSeconds)
+			bench.Name, scenarios[c.si], p.Fractions[c.fi], ModelNames[c.mi], ev.MREPct, res.EpochsRun, res.WallSeconds)
 	})
 	gridSpan.End()
+	mon := p.Obs.Accuracy()
+	sink := p.Obs.Sink()
+	parts := map[string][]*predictor.Attribution{}
+	for ci, c := range cells {
+		if mon != nil {
+			sc := scenarios[c.si]
+			key := obs.AccuracyKey{
+				Family: ModelNames[c.mi],
+				Mesh:   fmt.Sprintf("%dx%d", sc.Mesh.Nodes, sc.Mesh.GPUsPerNode),
+				Op:     bench.Name,
+			}
+			ds := datasets[c.si]
+			for k, pred := range evals[ci].Preds {
+				mon.Observe(key, pred, ds.Samples[tests[ci][k]].Measured)
+			}
+		}
+		sink.Emit(records[ci])
+		parts[ModelNames[c.mi]] = append(parts[ModelNames[c.mi]], evals[ci].Attribution)
+	}
+	t.Attribution = map[string]*predictor.Attribution{}
+	for _, name := range ModelNames {
+		t.Attribution[name] = predictor.MergeAttributions(parts[name]...)
+	}
 	for _, line := range logs {
 		io.WriteString(log, line)
 	}

@@ -144,6 +144,88 @@ func TestEvictionIsLRUExact(t *testing.T) {
 	}
 }
 
+func TestNegativeCapacityFloor(t *testing.T) {
+	c := New[int, int](-5)
+	if c.Cap() != 1 {
+		t.Fatalf("cap=%d, want 1", c.Cap())
+	}
+	c.Put(1, 1)
+	c.Put(2, 2) // evicts 1: the floor still bounds the cache
+	if _, ok := c.Get(1); ok {
+		t.Fatal("1 should have been evicted at capacity 1")
+	}
+	if v, ok := c.Get(2); !ok || v != 2 {
+		t.Fatal("missing 2")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// checkListIntegrity walks the recency list both ways and cross-checks it
+// against the map: every list node is a map entry and vice versa, and the
+// prev/next pointers agree. Internal-package test only — this is the
+// invariant concurrent eviction must preserve.
+func checkListIntegrity[K comparable, V any](t *testing.T, c *Cache[K, V]) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for e := c.head.next; e != &c.tail; e = e.next {
+		if e.next.prev != e || e.prev.next != e {
+			t.Fatalf("broken links at entry %v", e.key)
+		}
+		if c.m[e.key] != e {
+			t.Fatalf("list entry %v not in map (or superseded)", e.key)
+		}
+		n++
+		if n > len(c.m)+1 {
+			t.Fatalf("list longer than map (%d entries): cycle or leak", len(c.m))
+		}
+	}
+	if n != len(c.m) {
+		t.Fatalf("list has %d entries, map has %d", n, len(c.m))
+	}
+}
+
+// TestConcurrentEvictionBound hammers a tiny cache with far more distinct
+// keys than capacity from many goroutines, so nearly every Put evicts. Run
+// under -race this pins the eviction path's locking; afterwards the map and
+// recency list must still agree exactly.
+func TestConcurrentEvictionBound(t *testing.T) {
+	const cap = 8
+	c := New[int, int](cap)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := w*2000 + i // every goroutine writes distinct keys
+				c.Put(k, i)
+				c.Get(w*2000 + i/2)
+				c.GetOrCompute(k%16, func() int { return i })
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Len(); got > cap {
+		t.Fatalf("Len %d exceeds Cap %d after concurrent eviction", got, cap)
+	}
+	checkListIntegrity(t, c)
+	// The cache must remain fully usable: fill it and verify exact retention.
+	c.Purge()
+	for i := 0; i < cap; i++ {
+		c.Put(i, i)
+	}
+	for i := 0; i < cap; i++ {
+		if v, ok := c.Get(i); !ok || v != i {
+			t.Fatalf("key %d lost after stress (v=%d ok=%v)", i, v, ok)
+		}
+	}
+	checkListIntegrity(t, c)
+}
+
 func BenchmarkGetHit(b *testing.B) {
 	c := New[string, int](1024)
 	keys := make([]string, 256)

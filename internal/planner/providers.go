@@ -212,6 +212,21 @@ type ProviderInfo struct {
 	SampleFrac float64 `json:"sample_frac,omitempty"`
 }
 
+// WeightFingerprint hashes trained predictors into the 16-hex-digit FNV-1a
+// weight fingerprint that ProviderInfo carries: per predictor, the output
+// scale followed by every parameter tensor's name and raw float64 bits, in
+// the model's canonical Params order. Callers pass predictors in a fixed
+// order (e.g. cluster.Scenarios order) so equal weights hash equally. The
+// run ledger stamps this same fingerprint into manifests, making "did these
+// two runs train the same weights" a string comparison.
+func WeightFingerprint(trs ...predictor.Trained) string {
+	h := fnv.New64a()
+	for _, tr := range trs {
+		fingerprintTrained(h, tr)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // fingerprintTrained folds one trained predictor's identity into an FNV-1a
 // hash: its output scale followed by every parameter tensor's raw float64
 // bits, in the model's canonical Params order.

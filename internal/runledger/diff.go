@@ -1,0 +1,331 @@
+package runledger
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"predtop/internal/predictor"
+)
+
+// FieldDiff is one identity-field comparison row.
+type FieldDiff struct {
+	Field   string `json:"field"`
+	Base    string `json:"base"`
+	Other   string `json:"other"`
+	Changed bool   `json:"changed,omitempty"`
+}
+
+// AccuracyDiff compares one (family, mesh, op) residual population across
+// two runs. Deltas are in MRE percentage points (other − base).
+type AccuracyDiff struct {
+	Key      string  `json:"key"`
+	InBase   bool    `json:"in_base"`
+	InOther  bool    `json:"in_other"`
+	BaseMRE  float64 `json:"base_mre"`
+	OtherMRE float64 `json:"other_mre"`
+	Delta    float64 `json:"delta"`
+}
+
+// PlanDiff compares the Eqn-4 totals of the plans at one index.
+type PlanDiff struct {
+	Index     int     `json:"index"`
+	Label     string  `json:"label,omitempty"`
+	InBase    bool    `json:"in_base"`
+	InOther   bool    `json:"in_other"`
+	BaseTotal float64 `json:"base_total"`
+	NewTotal  float64 `json:"other_total"`
+	Delta     float64 `json:"delta"`
+	// DeltaPct is the relative change in percent (0 when the base is 0).
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+// BucketDiff compares one attribution bucket's MRE across two runs.
+type BucketDiff struct {
+	Label   string  `json:"label"` // attribution label, e.g. model family
+	Axis    string  `json:"axis"`  // "op" | "nodes" | "depth"
+	Key     string  `json:"key"`
+	BaseMRE float64 `json:"base_mre"`
+	NewMRE  float64 `json:"other_mre"`
+	Delta   float64 `json:"delta"`
+}
+
+// Diff is the full comparison of two manifests — the run-ledger counterpart
+// of planner.ReportDiff.
+type Diff struct {
+	BaseLabel  string `json:"base_label"`
+	OtherLabel string `json:"other_label"`
+	// CanonicalIdentical reports byte-identity of the two canonical JSON
+	// sections: true means the runs are bitwise interchangeable and every
+	// listed delta is zero.
+	CanonicalIdentical bool           `json:"canonical_identical"`
+	Fields             []FieldDiff    `json:"fields,omitempty"`
+	Accuracy           []AccuracyDiff `json:"accuracy,omitempty"`
+	Plans              []PlanDiff     `json:"plans,omitempty"`
+	Attribution        []BucketDiff   `json:"attribution,omitempty"`
+}
+
+// Compare diffs two manifests: identity fields, per-key accuracy, per-index
+// plans, and attribution buckets (only buckets present in both runs, since
+// an absent bucket has no meaningful delta).
+func Compare(base, other *Manifest, baseLabel, otherLabel string) *Diff {
+	d := &Diff{BaseLabel: baseLabel, OtherLabel: otherLabel}
+	cb, errB := base.CanonicalJSON()
+	co, errO := other.CanonicalJSON()
+	d.CanonicalIdentical = errB == nil && errO == nil && bytes.Equal(cb, co)
+
+	field := func(name, a, b string) {
+		d.Fields = append(d.Fields, FieldDiff{Field: name, Base: a, Other: b, Changed: a != b})
+	}
+	field("schema", fmt.Sprint(base.Canonical.Schema), fmt.Sprint(other.Canonical.Schema))
+	field("tool", base.Canonical.Tool, other.Canonical.Tool)
+	field("seed", fmt.Sprint(base.Canonical.Seed), fmt.Sprint(other.Canonical.Seed))
+	field("config_fingerprint", base.Canonical.configFingerprint(), other.Canonical.configFingerprint())
+	field("weights_fingerprint", base.Canonical.WeightsFingerprint, other.Canonical.WeightsFingerprint)
+	for _, k := range unionKeys(base.Canonical.Config, other.Canonical.Config) {
+		field("config."+k, base.Canonical.Config[k], other.Canonical.Config[k])
+	}
+
+	// Accuracy: align by (family, mesh, op) key.
+	type accKey struct{ f, m, o string }
+	baseAcc := map[accKey]AccuracyEntry{}
+	for _, e := range base.Canonical.Accuracy {
+		baseAcc[accKey{e.Family, e.Mesh, e.Op}] = e
+	}
+	otherAcc := map[accKey]AccuracyEntry{}
+	for _, e := range other.Canonical.Accuracy {
+		otherAcc[accKey{e.Family, e.Mesh, e.Op}] = e
+	}
+	keys := map[accKey]bool{}
+	for k := range baseAcc {
+		keys[k] = true
+	}
+	for k := range otherAcc {
+		keys[k] = true
+	}
+	ordered := make([]accKey, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Slice(ordered, func(i, j int) bool {
+		a, b := ordered[i], ordered[j]
+		if a.f != b.f {
+			return a.f < b.f
+		}
+		if a.m != b.m {
+			return a.m < b.m
+		}
+		return a.o < b.o
+	})
+	for _, k := range ordered {
+		be, inB := baseAcc[k]
+		oe, inO := otherAcc[k]
+		ad := AccuracyDiff{
+			Key:    strings.TrimSpace(fmt.Sprintf("%s %s %s", k.f, k.m, k.o)),
+			InBase: inB, InOther: inO,
+			BaseMRE: be.MeanPct, OtherMRE: oe.MeanPct,
+		}
+		if inB && inO {
+			ad.Delta = ad.OtherMRE - ad.BaseMRE
+		}
+		d.Accuracy = append(d.Accuracy, ad)
+	}
+
+	// Plans: align by index (run-level plan order is deterministic).
+	n := len(base.Canonical.Plans)
+	if len(other.Canonical.Plans) > n {
+		n = len(other.Canonical.Plans)
+	}
+	for i := 0; i < n; i++ {
+		pd := PlanDiff{Index: i}
+		if i < len(base.Canonical.Plans) {
+			p := base.Canonical.Plans[i]
+			pd.InBase, pd.BaseTotal = true, p.Total
+			pd.Label = planLabel(p)
+		}
+		if i < len(other.Canonical.Plans) {
+			p := other.Canonical.Plans[i]
+			pd.InOther, pd.NewTotal = true, p.Total
+			if pd.Label == "" {
+				pd.Label = planLabel(p)
+			}
+		}
+		if pd.InBase && pd.InOther {
+			pd.Delta = pd.NewTotal - pd.BaseTotal
+			if pd.BaseTotal != 0 {
+				pd.DeltaPct = 100 * pd.Delta / pd.BaseTotal
+			}
+		}
+		d.Plans = append(d.Plans, pd)
+	}
+
+	// Attribution: per shared label, per axis, buckets present in both.
+	for _, label := range unionAttrLabels(base.Canonical.Attribution, other.Canonical.Attribution) {
+		ba, oa := base.Canonical.Attribution[label], other.Canonical.Attribution[label]
+		if ba == nil || oa == nil {
+			continue
+		}
+		for _, axis := range []struct {
+			name   string
+			bb, ob []predictor.AttributionBucket
+		}{{"op", ba.ByOp, oa.ByOp}, {"nodes", ba.ByNodes, oa.ByNodes}, {"depth", ba.ByDepth, oa.ByDepth}} {
+			om := map[string]predictor.AttributionBucket{}
+			for _, b := range axis.ob {
+				om[b.Key] = b
+			}
+			for _, b := range axis.bb {
+				o, ok := om[b.Key]
+				if !ok {
+					continue
+				}
+				d.Attribution = append(d.Attribution, BucketDiff{
+					Label: label, Axis: axis.name, Key: b.Key,
+					BaseMRE: b.MREPct, NewMRE: o.MREPct, Delta: o.MREPct - b.MREPct,
+				})
+			}
+		}
+	}
+	return d
+}
+
+func planLabel(p PlanSummary) string {
+	parts := []string{}
+	for _, s := range []string{p.Version, p.Model, p.Platform} {
+		if s != "" {
+			parts = append(parts, s)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func unionKeys(a, b map[string]string) []string {
+	seen := map[string]bool{}
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func unionAttrLabels(a, b map[string]*predictor.Attribution) []string {
+	seen := map[string]bool{}
+	for k := range a {
+		seen[k] = true
+	}
+	for k := range b {
+		seen[k] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render returns the human rendering of the diff in the planner ReportDiff
+// style: identity fields first (changes flagged), then per-key accuracy,
+// plan totals, and attribution deltas. Pure function of the contents.
+func (d *Diff) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== run diff: %s → %s ===\n", d.BaseLabel, d.OtherLabel)
+	if d.CanonicalIdentical {
+		b.WriteString("canonical sections: identical\n")
+	} else {
+		b.WriteString("canonical sections: DIFFER\n")
+	}
+	for _, f := range d.Fields {
+		if !f.Changed {
+			continue
+		}
+		base, other := f.Base, f.Other
+		if base == "" {
+			base = "-"
+		}
+		if other == "" {
+			other = "-"
+		}
+		fmt.Fprintf(&b, "  %-28s %s → %s\n", f.Field+":", base, other)
+	}
+	if len(d.Accuracy) > 0 {
+		b.WriteString("\naccuracy (MRE %):\n")
+		fmt.Fprintf(&b, "  %-36s %10s %10s %10s\n", "family mesh op", "base", "new", "delta")
+		for _, a := range d.Accuracy {
+			base, other := fmt.Sprintf("%.2f", a.BaseMRE), fmt.Sprintf("%.2f", a.OtherMRE)
+			if !a.InBase {
+				base = "-"
+			}
+			if !a.InOther {
+				other = "-"
+			}
+			fmt.Fprintf(&b, "  %-36s %10s %10s %+10.2f\n", a.Key, base, other, a.Delta)
+		}
+	}
+	if len(d.Plans) > 0 {
+		b.WriteString("\nplans (Eqn-4 total, s):\n")
+		fmt.Fprintf(&b, "  %-3s %-30s %12s %12s %12s\n", "#", "plan", "base", "new", "delta")
+		for _, p := range d.Plans {
+			base, other := fmt.Sprintf("%.6f", p.BaseTotal), fmt.Sprintf("%.6f", p.NewTotal)
+			if !p.InBase {
+				base = "-"
+			}
+			if !p.InOther {
+				other = "-"
+			}
+			fmt.Fprintf(&b, "  %-3d %-30s %12s %12s %+9.6f (%+.2f%%)\n",
+				p.Index, p.Label, base, other, p.Delta, p.DeltaPct)
+		}
+	}
+	if len(d.Attribution) > 0 {
+		b.WriteString("\nerror attribution (MRE %):\n")
+		fmt.Fprintf(&b, "  %-10s %-7s %-24s %10s %10s %10s\n", "label", "axis", "bucket", "base", "new", "delta")
+		for _, a := range d.Attribution {
+			fmt.Fprintf(&b, "  %-10s %-7s %-24s %10.2f %10.2f %+10.2f\n",
+				a.Label, a.Axis, a.Key, a.BaseMRE, a.NewMRE, a.Delta)
+		}
+	}
+	return b.String()
+}
+
+// GateThresholds arms the regression sentinel. Zero values disable the
+// corresponding gate.
+type GateThresholds struct {
+	// MREPct fails keys whose accuracy MRE worsened by more than this many
+	// percentage points (absolute, since MRE is already a percentage).
+	MREPct float64
+	// LatencyPct fails plans whose Eqn-4 total grew by more than this
+	// percentage over the baseline.
+	LatencyPct float64
+}
+
+// Gate returns one message per regression beyond the thresholds; an empty
+// slice means the diff passes. Comparisons only fire for populations
+// present in both runs — a new key or plan is a change, not a regression.
+func (d *Diff) Gate(th GateThresholds) []string {
+	var out []string
+	if th.MREPct > 0 {
+		for _, a := range d.Accuracy {
+			if a.InBase && a.InOther && a.Delta > th.MREPct {
+				out = append(out, fmt.Sprintf("accuracy %s: MRE %.2f%% → %.2f%% (+%.2f points > %.2f)",
+					a.Key, a.BaseMRE, a.OtherMRE, a.Delta, th.MREPct))
+			}
+		}
+	}
+	if th.LatencyPct > 0 {
+		for _, p := range d.Plans {
+			if p.InBase && p.InOther && p.BaseTotal > 0 && p.DeltaPct > th.LatencyPct {
+				out = append(out, fmt.Sprintf("plan %d %s: total %.6fs → %.6fs (%+.2f%% > %.2f%%)",
+					p.Index, p.Label, p.BaseTotal, p.NewTotal, p.DeltaPct, th.LatencyPct))
+			}
+		}
+	}
+	return out
+}

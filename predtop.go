@@ -55,6 +55,7 @@ import (
 	"predtop/internal/pipeline"
 	"predtop/internal/planner"
 	"predtop/internal/predictor"
+	"predtop/internal/runledger"
 	"predtop/internal/serve"
 	"predtop/internal/sim"
 	"predtop/internal/stage"
@@ -529,6 +530,62 @@ func StartServe(ctx context.Context, cfg ServeConfig) (*ServeDaemon, error) {
 // daemon and returns throughput, latency percentiles, and the daemon's
 // batching and cache counters.
 func ServeReplay(cfg ServeReplayConfig) (*ServeReplayResult, error) { return serve.Replay(cfg) }
+
+// Error-attribution API (internal/predictor): where a trained predictor's
+// residuals live, bucketed by op type, node count, and stage depth.
+type (
+	// ErrorAttribution is one error-attribution snapshot: per-bucket sample
+	// counts, mean relative error, and worst-case error.
+	ErrorAttribution = predictor.Attribution
+	// ErrorAttributionBucket is one bucket of an ErrorAttribution.
+	ErrorAttributionBucket = predictor.AttributionBucket
+	// PredictorEvaluation is Trained.Evaluate's result: the held-out MRE,
+	// per-sample predictions, and the error-attribution snapshot, all from a
+	// single batched forward pass.
+	PredictorEvaluation = predictor.Evaluation
+)
+
+// MergeAttributions merges per-subset attributions into one exact aggregate,
+// as if the union had been attributed in one call.
+func MergeAttributions(parts ...*ErrorAttribution) *ErrorAttribution {
+	return predictor.MergeAttributions(parts...)
+}
+
+// WeightFingerprint returns the 16-hex FNV-1a fingerprint of the trained
+// predictors' weights — the same scheme plan provenance reports carry, so a
+// model file, a plan, and a run-ledger manifest can be matched by identity.
+func WeightFingerprint(trs ...Trained) string { return planner.WeightFingerprint(trs...) }
+
+// Run-ledger API (internal/runledger): persistent, diffable run manifests.
+type (
+	// RunManifest is one recorded tool invocation: a deterministic canonical
+	// section (byte-identical per seed) plus wall-clock session facts.
+	RunManifest = runledger.Manifest
+	// RunLedger is a content-addressed manifest store (conventionally the
+	// runs/ directory). A nil ledger is inert.
+	RunLedger = runledger.Store
+	// RunEntry is one stored run as listed by RunLedger.List.
+	RunEntry = runledger.Entry
+	// RunDiff is the side-by-side comparison of two run manifests.
+	RunDiff = runledger.Diff
+	// RunGateThresholds configures RunDiff.Gate's regression sentinel.
+	RunGateThresholds = runledger.GateThresholds
+)
+
+// NewRunManifest starts a manifest for one invocation of tool with seed.
+func NewRunManifest(tool string, seed int64) *RunManifest { return runledger.New(tool, seed) }
+
+// OpenRunLedger opens the manifest store rooted at dir ("" returns a nil,
+// inert ledger — the -runledger flag off state).
+func OpenRunLedger(dir string) *RunLedger { return runledger.Open(dir) }
+
+// LoadRunManifest reads one stored manifest file.
+func LoadRunManifest(path string) (*RunManifest, error) { return runledger.Load(path) }
+
+// CompareRuns diffs two manifests field by field, population by population.
+func CompareRuns(base, other *RunManifest, baseLabel, otherLabel string) *RunDiff {
+	return runledger.Compare(base, other, baseLabel, otherLabel)
+}
 
 // Extended white-box schedules (beyond the paper's Eqn 4).
 

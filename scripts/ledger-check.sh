@@ -1,0 +1,33 @@
+#!/bin/sh
+# ledger-check: report on the repository's own run ledger (the runs/
+# directory the tools write under -runledger). Lists the recorded runs and,
+# when a baseline is pinned, renders the sentinel diff against the latest
+# run. Informational only: a regression past the thresholds prints loudly
+# but exits 0 — `make ci` must stay green on a checkout with no local runs,
+# and whether a local regression blocks a change is the developer's call
+# (run `predtop-runs diff -gate` directly to enforce it).
+set -eu
+
+GO=${GO:-go}
+DIR=${RUNS_DIR:-runs}
+
+if [ ! -d "$DIR" ] || [ -z "$(ls "$DIR"/*.json 2>/dev/null)" ]; then
+    echo "ledger-check: no runs recorded in $DIR/ (record one with -runledger $DIR)"
+    exit 0
+fi
+
+echo "ledger-check: runs recorded in $DIR/"
+$GO run ./cmd/predtop-runs -dir "$DIR" list
+
+if ! $GO run ./cmd/predtop-runs -dir "$DIR" baseline >/dev/null 2>&1; then
+    echo "ledger-check: no baseline pinned; pin one with 'predtop-runs baseline <ref>' to enable the sentinel"
+    exit 0
+fi
+
+echo "ledger-check: sentinel diff (baseline vs latest)"
+if $GO run ./cmd/predtop-runs -dir "$DIR" diff -gate; then
+    :
+else
+    echo "ledger-check: REGRESSION past thresholds (informational; not failing the build)" >&2
+fi
+exit 0

@@ -1,0 +1,96 @@
+#!/bin/sh
+# runs-smoke: build predtop-train, predtop-eval, and predtop-runs, record
+# real runs into a throwaway ledger, and prove the cross-run observability
+# contract end to end: two same-seed training runs share one content address
+# with byte-identical canonical sections, the eval manifest carries the
+# error-attribution snapshot, the diff renders it, and the regression
+# sentinel passes a run against its own baseline. Any failure fails the
+# script, which is wired into `make ci` via the runs-smoke target.
+set -eu
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+
+cleanup() {
+    status=$?
+    rm -rf "$WORK"
+    exit $status
+}
+trap cleanup EXIT INT TERM
+
+echo "runs-smoke: building"
+$GO build -o "$WORK/predtop-train" ./cmd/predtop-train
+$GO build -o "$WORK/predtop-eval" ./cmd/predtop-eval
+$GO build -o "$WORK/predtop-runs" ./cmd/predtop-runs
+
+LEDGER="$WORK/runs"
+
+echo "runs-smoke: recording two same-seed training runs"
+"$WORK/predtop-train" -bench GPT-3 -layers 4 -samples 10 -epochs 2 -seed 7 \
+    -o "$WORK/m1.predtop" -runledger "$LEDGER" -quiet
+"$WORK/predtop-train" -bench GPT-3 -layers 4 -samples 10 -epochs 2 -seed 7 \
+    -o "$WORK/m2.predtop" -runledger "$LEDGER" -quiet
+
+echo "runs-smoke: recording a quick eval run"
+"$WORK/predtop-eval" -preset quick -bench GPT-3 -platform 1 -seed 7 \
+    -runledger "$LEDGER" -quiet > /dev/null
+
+"$WORK/predtop-runs" -dir "$LEDGER" list > "$WORK/list.out"
+cat "$WORK/list.out"
+trains=$(grep -c predtop-train "$WORK/list.out" || true)
+if [ "$trains" != 2 ]; then
+    echo "runs-smoke: expected 2 training runs in the ledger, saw $trains" >&2
+    exit 1
+fi
+grep -q predtop-eval "$WORK/list.out" || {
+    echo "runs-smoke: eval run missing from the ledger" >&2
+    exit 1
+}
+
+echo "runs-smoke: checking same-seed canonical sections are byte-identical"
+# The two training runs collide on one content address: the first takes
+# <id>.json, the rerun <id>.1.json. Their canonical sections must agree to
+# the byte (that is what the id hashes) — cmp, not a numeric tolerance.
+# The baseline mark column is blank here, so awk sees RUN as $1 and TOOL
+# as $2 on every row.
+ID=$(awk '$2 == "predtop-train" { print $1; exit }' "$WORK/list.out")
+case "$ID" in
+    *.*) echo "runs-smoke: first training run is a .N rerun ($ID)?" >&2; exit 1 ;;
+esac
+if [ ! -e "$LEDGER/$ID.1.json" ]; then
+    echo "runs-smoke: rerun $ID.1.json missing — same seed hashed to a different id" >&2
+    exit 1
+fi
+"$WORK/predtop-runs" -dir "$LEDGER" show -canonical "$ID" > "$WORK/c1.json"
+"$WORK/predtop-runs" -dir "$LEDGER" show -canonical "$ID.1" > "$WORK/c2.json"
+if ! cmp -s "$WORK/c1.json" "$WORK/c2.json"; then
+    echo "runs-smoke: canonical sections differ across same-seed reruns" >&2
+    exit 1
+fi
+
+echo "runs-smoke: diffing the reruns"
+"$WORK/predtop-runs" -dir "$LEDGER" diff "$ID" "$ID.1" > "$WORK/diff.out"
+grep -q "canonical sections: identical" "$WORK/diff.out" || {
+    echo "runs-smoke: diff did not report identical canonical sections" >&2
+    exit 1
+}
+grep -q "error attribution" "$WORK/diff.out" || {
+    echo "runs-smoke: diff rendered no error-attribution breakdown" >&2
+    exit 1
+}
+for axis in op nodes depth; do
+    awk -v a="$axis" '$2 == a { found = 1 } END { exit !found }' "$WORK/diff.out" || {
+        echo "runs-smoke: attribution breakdown missing the $axis axis" >&2
+        exit 1
+    }
+done
+
+echo "runs-smoke: gating the eval run against its own baseline"
+"$WORK/predtop-runs" -dir "$LEDGER" baseline latest > /dev/null
+"$WORK/predtop-runs" -dir "$LEDGER" diff -gate > "$WORK/gate.out"
+grep -q "gate: ok" "$WORK/gate.out" || {
+    echo "runs-smoke: sentinel did not report ok on identical runs" >&2
+    exit 1
+}
+
+echo "runs-smoke: ok"
